@@ -1,0 +1,47 @@
+"""Shared configuration for the per-figure benchmarks.
+
+Each benchmark regenerates one table/figure of the paper's evaluation
+at laptop scale and prints the rows it produced.  Sizes can be grown
+with ``REPRO_BENCH_RECORDS`` / ``REPRO_BENCH_OPS`` / ``REPRO_BENCH_SCALE``
+for higher-fidelity (slower) runs.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.bench import BenchConfig
+
+
+def _env_int(name, default):
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    """Write-dynamics sizing: enough flushes for steady-state churn."""
+    return BenchConfig(
+        record_count=_env_int("REPRO_BENCH_RECORDS", 16_000),
+        ops_per_phase=_env_int("REPRO_BENCH_OPS", 5_000),
+    )
+
+
+@pytest.fixture(scope="session")
+def read_config(bench_config):
+    """Read-tail sizing: more run-phase operations for percentiles."""
+    return bench_config.copy(ops_per_phase=max(6_000, bench_config.ops_per_phase))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark.
+
+    The experiments are deterministic simulations — their virtual-time
+    results do not vary across rounds, so one round measures the wall
+    cost without re-running minutes of simulation.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              iterations=1, rounds=1)

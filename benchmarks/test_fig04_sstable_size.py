@@ -1,0 +1,30 @@
+"""Figure 4 — insertion performance vs SSTable size (stock LevelDB).
+
+Paper shape: (a) the number of fsync() calls decreases ~linearly as the
+SSTable size grows from 2 MB to 64 MB; (b) the insertion tail latency
+improves correspondingly, because fewer barriers mean compaction keeps
+up and the write-stall governors engage less.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig4_sstable_size_sweep
+from repro.bench.report import format_table
+
+SIZES_MB = (2, 4, 8, 16, 32, 64)
+
+
+def test_fig4_sstable_size_sweep(benchmark, bench_config):
+    rows = run_once(benchmark, fig4_sstable_size_sweep, bench_config,
+                    sizes_mb=SIZES_MB)
+    print()
+    print(format_table(rows, "Fig 4 — LevelDB Load A vs SSTable size"))
+    benchmark.extra_info["rows"] = rows
+
+    fsyncs = [row["fsync_calls"] for row in rows]
+    assert fsyncs == sorted(fsyncs, reverse=True), \
+        "fsync count must fall monotonically with SSTable size"
+    # ~linear decrease: 32x bigger tables -> at least 8x fewer fsyncs.
+    assert fsyncs[0] / fsyncs[-1] > 8
+    # Insertion throughput improves with table size (Fig 4(b)).
+    assert rows[-1]["kops"] > rows[0]["kops"]

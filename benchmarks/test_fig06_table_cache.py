@@ -1,0 +1,28 @@
+"""Figure 6 — TableCache eviction overhead (RocksDB point queries).
+
+Paper shape: with 64 MB SSTables a TableCache miss re-reads an index
+block ~32x larger than with 2 MB SSTables (1 MB vs 30 KB), so although
+the big-table configuration has far fewer tables, its read tail latency
+past ~p75 is much worse.  Small tables with the same number of cache
+slots suffer far smaller miss penalties.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig6_table_cache_overhead
+from repro.bench.report import format_table
+
+
+def test_fig6_table_cache_overhead(benchmark, read_config):
+    rows = run_once(benchmark, fig6_table_cache_overhead, read_config,
+                    sizes_mb=(2, 64))
+    print()
+    print(format_table(rows, "Fig 6 — RocksDB point-query latency vs "
+                             "SSTable size (constrained TableCache)"))
+    benchmark.extra_info["rows"] = rows
+
+    small, big = rows[0], rows[1]
+    # The tail (p99/p99.9) is worse with 64 MB tables...
+    assert big["p999_us"] > small["p999_us"]
+    # ...because each miss loads a much larger index block.
+    assert big["index_mb_loaded"] > small["index_mb_loaded"]

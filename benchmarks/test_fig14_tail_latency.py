@@ -1,0 +1,36 @@
+"""Figure 14 — tail latency of writes (Load A) and reads (workload C).
+
+Paper shapes: insertion tails of the governor-bearing engines (LevelDB,
+BoLT, RocksDB) plateau around the L0SlowDown sleep; BoLT's insertion
+tail is below LevelDB's up to very high percentiles because compaction
+keeps up; read tails are comparable among the small-table engines while
+RocksDB's read tail spikes past ~p98 on TableCache misses of its large
+index blocks.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig14_tail_latency
+from repro.bench.report import format_table
+
+SYSTEMS = ("leveldb", "hyperleveldb", "pebblesdb", "rocksdb",
+           "bolt", "hyperbolt")
+
+
+def test_fig14_tail_latency(benchmark, read_config):
+    rows = run_once(benchmark, fig14_tail_latency, read_config,
+                    systems=SYSTEMS)
+    print()
+    print(format_table(rows, "Fig 14 — insert (Load A) and read (C) "
+                             "latency CDF points (us)"))
+    benchmark.extra_info["rows"] = rows
+
+    by_system = {row["system"]: row for row in rows}
+    # (a) BoLT's p99 insertion latency at or below stock LevelDB's.
+    assert by_system["BoLT"]["w_p99_us"] <= by_system["Level"]["w_p99_us"] * 1.2
+    # (b) every CDF is monotone.
+    for row in rows:
+        write_points = [row[k] for k in row if k.startswith("w_p")]
+        read_points = [row[k] for k in row if k.startswith("r_p")]
+        assert write_points == sorted(write_points)
+        assert read_points == sorted(read_points)

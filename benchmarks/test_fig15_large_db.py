@@ -1,0 +1,53 @@
+"""Figure 15 — large database: BoLT vs RocksDB (RocksDB-parity config).
+
+Paper shapes: with a doubled dataset (only BoLT and RocksDB survive the
+memory pressure; HyperLevelDB-family stores run out of memory and are
+excluded, as we exclude them here), BoLT's write throughput is up to 58%
+above RocksDB for 1 KB records, while for 1-billion 100-byte records
+RocksDB's compact record format (141 vs 223 bytes/record) flips the
+outcome: it performs far fewer compactions and even writes fewer total
+bytes (Fig 15(c)).
+
+Measured deviation (recorded in EXPERIMENTS.md): at our scale the 1 KB
+write race is close rather than a clear BoLT win — the simulator lacks
+the TableCache/memory-pressure effects that penalize RocksDB's huge
+tables at 100 GB — but the *record-size trend* (BoLT relatively stronger
+at 1 KB, RocksDB decisively ahead at 100 B) and the bytes-written
+crossover reproduce.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig15_large_db
+from repro.bench.report import format_table
+
+
+def test_fig15_large_db(benchmark, bench_config):
+    config = bench_config.copy(record_count=bench_config.record_count,
+                               value_size=1024)
+    rows = run_once(benchmark, fig15_large_db, config)
+    print()
+    print(format_table(rows, "Fig 15 — BoLT vs RocksDB, doubled dataset"))
+    benchmark.extra_info["rows"] = rows
+
+    def row(case, system):
+        return next(r for r in rows
+                    if r["case"] == case and r["system"] == system)
+
+    kb_bolt = row("a-1kb-zipfian", "BoLT")
+    kb_rocks = row("a-1kb-zipfian", "Rocks")
+    small_bolt = row("c-100b-zipfian", "BoLT")
+    small_rocks = row("c-100b-zipfian", "Rocks")
+
+    # Fig 15(c): at 100-byte records RocksDB writes far fewer bytes
+    # (paper: LevelDB-format records are 58% larger on disk)...
+    assert small_rocks["gb_written"] < small_bolt["gb_written"] * 0.8
+    # ...erasing BoLT's barrier advantage on the write-only load.
+    assert small_rocks["load_a_kops"] > small_bolt["load_a_kops"] * 0.9
+    # The byte gap narrows dramatically for 1 KB records (58% -> 7%).
+    small_gap = small_bolt["gb_written"] / small_rocks["gb_written"]
+    kb_gap = kb_bolt["gb_written"] / kb_rocks["gb_written"]
+    assert kb_gap < small_gap
+    # BoLT stays competitive at 1 KB (paper: up to +58%; see deviation
+    # note above).
+    assert kb_bolt["load_a_kops"] > 0.5 * kb_rocks["load_a_kops"]

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Device sensitivity: how much of BoLT's win is the barrier latency?
+
+The paper's premise is that fsync barriers under-utilize the device.
+This ablation (DESIGN.md §5) replays Load A on three device profiles —
+hard disk, SATA SSD, NVMe — and shows BoLT's advantage over stock
+LevelDB growing with the device's barrier cost, while a hypothetical
+zero-barrier device erases most of it.
+
+Run:  python examples/device_sensitivity.py
+"""
+
+from dataclasses import replace
+
+from repro import LevelDBEngine, BoLTEngine, bolt_options, leveldb_options
+from repro.bench import BenchConfig, format_table, new_stack
+from repro.bench.harness import load_database
+from repro.storage import HARD_DISK, NVME_SSD, SATA_SSD
+
+SCALE = 256
+RECORDS = 12_000
+
+
+def load_throughput(engine_cls, options, profile):
+    config = BenchConfig(scale=SCALE, record_count=RECORDS,
+                         value_size=256, device=profile.scaled(SCALE))
+    stack = new_stack(config)
+    db = engine_cls.open_sync(stack.env, stack.fs, options, "db")
+    proc = stack.env.process(load_database(stack, db, config))
+    result, _counter = stack.env.run_until(proc)
+    db.close_sync()
+    return result.throughput
+
+
+def main() -> None:
+    profiles = [
+        ("hard-disk", HARD_DISK),
+        ("sata-ssd", SATA_SSD),
+        ("nvme-ssd", NVME_SSD),
+        ("no-barrier", replace(SATA_SSD, barrier_latency=0.0,
+                               write_ramp_bytes=1)),
+    ]
+    rows = []
+    for name, profile in profiles:
+        stock = load_throughput(LevelDBEngine, leveldb_options(SCALE), profile)
+        bolt = load_throughput(BoLTEngine, bolt_options(SCALE), profile)
+        rows.append({
+            "device": name,
+            "barrier_ms": round(profile.barrier_latency * 1e3, 2),
+            "leveldb_kops": round(stock / 1e3, 1),
+            "bolt_kops": round(bolt / 1e3, 1),
+            "bolt_speedup": round(bolt / stock, 2),
+        })
+    print(format_table(rows, "BoLT speedup over LevelDB vs device "
+                             "barrier cost (Load A)"))
+    print("\nThe costlier the barrier, the bigger BoLT's edge.  With")
+    print("barriers free (an idealized ordering-only device, cf. the")
+    print("BarrierFS discussion in §5) the advantage shrinks toward what")
+    print("settled compaction's write-amplification savings alone buy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Benchmark harness: metrics, system registry, per-figure experiments."""
+
+from .harness import (
+    BenchConfig,
+    SYSTEMS,
+    Stack,
+    SystemSpec,
+    load_database,
+    new_stack,
+    open_engine,
+    run_suite,
+)
+from .metrics import LatencyRecorder, PhaseResult, percentile
+from .report import format_markdown_table, format_table
+from . import experiments
+
+__all__ = [
+    "BenchConfig",
+    "SYSTEMS",
+    "Stack",
+    "SystemSpec",
+    "load_database",
+    "new_stack",
+    "open_engine",
+    "run_suite",
+    "LatencyRecorder",
+    "PhaseResult",
+    "percentile",
+    "format_markdown_table",
+    "format_table",
+    "experiments",
+]

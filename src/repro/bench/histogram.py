@@ -1,0 +1,125 @@
+"""Log-bucketed latency histogram (the db_bench ``Histogram`` analog).
+
+:class:`~repro.bench.metrics.LatencyRecorder` keeps raw samples, which
+is exact but O(n) memory; this histogram keeps O(buckets) state with
+bounded relative error, suitable for very long simulated runs, and can
+merge shards from concurrent clients.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Tuple
+
+__all__ = ["LatencyHistogram"]
+
+
+class LatencyHistogram:
+    """Latencies bucketed at ``precision`` buckets per decade."""
+
+    def __init__(self, min_latency: float = 1e-7, max_latency: float = 100.0,
+                 buckets_per_decade: int = 20):
+        if min_latency <= 0 or max_latency <= min_latency:
+            raise ValueError("need 0 < min_latency < max_latency")
+        self.min_latency = min_latency
+        self.max_latency = max_latency
+        self.buckets_per_decade = buckets_per_decade
+        decades = math.log10(max_latency / min_latency)
+        self._num_buckets = int(math.ceil(decades * buckets_per_decade)) + 2
+        self._counts = [0] * self._num_buckets
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = 0.0
+
+    # -- recording -----------------------------------------------------------
+
+    def _bucket_of(self, latency: float) -> int:
+        if latency <= self.min_latency:
+            return 0
+        if latency >= self.max_latency:
+            return self._num_buckets - 1
+        position = (math.log10(latency / self.min_latency)
+                    * self.buckets_per_decade)
+        return min(self._num_buckets - 2, int(position) + 1)
+
+    def _bucket_upper(self, index: int) -> float:
+        if index >= self._num_buckets - 1:
+            return self.max_latency
+        return self.min_latency * 10 ** (index / self.buckets_per_decade)
+
+    def record(self, latency: float) -> None:
+        self._counts[self._bucket_of(latency)] += 1
+        self._count += 1
+        self._sum += latency
+        self._min = min(self._min, latency)
+        self._max = max(self._max, latency)
+
+    def record_all(self, latencies: Iterable[float]) -> None:
+        for latency in latencies:
+            self.record(latency)
+
+    # -- statistics -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+    def percentile(self, p: float) -> float:
+        """Upper bound of the bucket holding the p-th percentile sample."""
+        if not self._count:
+            return 0.0
+        threshold = max(1, math.ceil(p / 100.0 * self._count))
+        seen = 0
+        for index, count in enumerate(self._counts):
+            seen += count
+            if seen >= threshold:
+                return min(self._bucket_upper(index), self._max)
+        return self._max
+
+    def cdf(self, points: Iterable[float] = (50, 90, 99, 99.9)
+            ) -> List[Tuple[float, float]]:
+        return [(p, self.percentile(p)) for p in points]
+
+    # -- composition ----------------------------------------------------------
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another shard (same bucketing) into this one."""
+        if (other.buckets_per_decade != self.buckets_per_decade
+                or other.min_latency != self.min_latency
+                or other.max_latency != self.max_latency):
+            raise ValueError("histogram bucketing mismatch")
+        for index, count in enumerate(other._counts):
+            self._counts[index] += count
+        self._count += other._count
+        self._sum += other._sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    def render(self, width: int = 50) -> str:
+        """ASCII bar rendering, as db_bench prints."""
+        if not self._count:
+            return "(empty histogram)"
+        lines = [f"count={self._count} mean={self.mean * 1e6:.1f}us "
+                 f"min={self.min * 1e6:.1f}us max={self.max * 1e6:.1f}us"]
+        peak = max(self._counts)
+        lower = 0.0
+        for index, count in enumerate(self._counts):
+            upper = self._bucket_upper(index)
+            if count:
+                bar = "#" * max(1, int(count / peak * width))
+                lines.append(f"[{lower * 1e6:10.1f}, {upper * 1e6:10.1f}) us "
+                             f"{count:8d} {bar}")
+            lower = upper
+        return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Measurement utilities: latency percentiles, CDFs, throughput, WA.
+
+All times are **virtual** seconds from the simulation clock; throughput
+numbers are therefore modelled-device numbers, not Python wall-clock
+(see DESIGN.md §2 — the calibration band notes Python wall-clock
+throughput would be meaningless).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["LatencyRecorder", "percentile", "PhaseResult"]
+
+#: Percentiles the paper's tail-latency figures report.
+TAIL_PERCENTILES = (50.0, 90.0, 95.0, 99.0, 99.5, 99.9, 99.99)
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile (nearest-rank) of ``samples``."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if p <= 0:
+        return ordered[0]
+    if p >= 100:
+        return ordered[-1]
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+class LatencyRecorder:
+    """Per-operation-kind latency samples."""
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, List[float]] = {}
+
+    def record(self, kind: str, latency: float) -> None:
+        self._samples.setdefault(kind, []).append(latency)
+
+    def samples(self, kind: Optional[str] = None) -> List[float]:
+        if kind is not None:
+            return list(self._samples.get(kind, []))
+        merged: List[float] = []
+        for values in self._samples.values():
+            merged.extend(values)
+        return merged
+
+    def count(self, kind: Optional[str] = None) -> int:
+        if kind is not None:
+            return len(self._samples.get(kind, []))
+        return sum(len(v) for v in self._samples.values())
+
+    def kinds(self) -> List[str]:
+        return sorted(self._samples)
+
+    def percentile(self, p: float, kind: Optional[str] = None) -> float:
+        return percentile(self.samples(kind), p)
+
+    def mean(self, kind: Optional[str] = None) -> float:
+        samples = self.samples(kind)
+        return sum(samples) / len(samples) if samples else 0.0
+
+    def cdf(self, kind: Optional[str] = None,
+            points: Sequence[float] = TAIL_PERCENTILES
+            ) -> List[Tuple[float, float]]:
+        """(percentile, latency) pairs — the paper's Fig 14/16 curves."""
+        samples = sorted(self.samples(kind))
+        if not samples:
+            return [(p, 0.0) for p in points]
+        result = []
+        for p in points:
+            rank = max(1, math.ceil(p / 100.0 * len(samples)))
+            result.append((p, samples[min(rank, len(samples)) - 1]))
+        return result
+
+
+@dataclass
+class PhaseResult:
+    """Everything measured in one workload phase of one engine."""
+
+    system: str
+    workload: str
+    operations: int
+    elapsed: float                       # virtual seconds
+    latencies: LatencyRecorder
+    #: fsync()+fdatasync() calls during the phase (the headline count).
+    fsync_calls: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+    logical_bytes: int = 0
+    #: Bytes of user key+value payload submitted by write operations.
+    user_bytes: int = 0
+    metadata_ops: int = 0
+    stall_time: float = 0.0
+    slowdown_time: float = 0.0
+    compactions: int = 0
+    settled_promotions: int = 0
+    table_cache_hit_ratio: float = 0.0
+    block_cache_hit_ratio: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Operations per virtual second (the paper's Kops/s axis)."""
+        return self.operations / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def write_amplification(self) -> float:
+        """Device bytes written per byte of user payload (the paper's
+        write-amplification metric)."""
+        denominator = self.user_bytes or self.logical_bytes
+        if denominator <= 0:
+            return 0.0
+        return self.bytes_written / denominator
+
+    def summary_row(self) -> Dict[str, object]:
+        return {
+            "system": self.system,
+            "workload": self.workload,
+            "kops": round(self.throughput / 1e3, 2),
+            "p99_ms": round(self.latencies.percentile(99.0) * 1e3, 3),
+            "fsync": self.fsync_calls,
+            "gb_written": round(self.bytes_written / 1e9, 4),
+            "wa": round(self.write_amplification, 2),
+        }

@@ -1,0 +1,53 @@
+"""Plain-text table rendering for benchmark output and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "format_markdown_table"]
+
+
+def _stringify(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict[str, object]],
+                 title: str = "") -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    cells = [[_stringify(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(row[i]) for row in cells))
+              for i, col in enumerate(columns)]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Render dict rows as a GitHub-flavored markdown table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    lines = ["| " + " | ".join(columns) + " |",
+             "|" + "|".join("---" for _ in columns) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(_stringify(row.get(col, ""))
+                                       for col in columns) + " |")
+    return "\n".join(lines)

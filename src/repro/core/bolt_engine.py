@@ -1,0 +1,274 @@
+"""BoLT and HyperBoLT engines (paper §3).
+
+BoLT layers four techniques onto a base LSM engine:
+
+1. **Compaction file** (§3.1): one physical file and one data fsync per
+   compaction (``CompactionFileSink``), plus the MANIFEST barrier.
+2. **Logical SSTables** (§3.2): fine-grained (default 1 MB) tables at
+   offsets inside compaction files, addressed by the
+   ``(container, offset, length)`` triple in FileMetaData; dead logical
+   SSTables are reclaimed with ``fallocate`` hole punching, and a whole
+   compaction file is unlinked once none of its tables are live.
+3. **Group compaction** (§3.3): many victim logical SSTables (up to
+   ``group_compaction_bytes``, paper default 64 MB) merge in a single
+   compaction, amortizing barriers and restoring long sequential writes.
+4. **Settled compaction** (§3.4): victims are chosen by *minimal*
+   next-level overlap; victims with no overlap at all are promoted with
+   a MANIFEST-only level change — zero data I/O (inspired by VT-tree
+   stitching).
+
+Plus the per-compaction-file descriptor cache (§3.2.1).  Each feature is
+independently switchable through :class:`~repro.lsm.Options`, which is
+how the Fig 12 ablation (+LS/+GC/+STL/+FC) is produced.
+
+``BoLTEngine`` applies these to the LevelDB base; ``HyperBoLTEngine`` to
+the HyperLevelDB base, as the paper's two integrations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..engines.hyperleveldb import HyperLevelDBEngine, hyperleveldb_options
+from ..engines.leveldb import LevelDBEngine, leveldb_options
+from ..engines.rocksdb import RocksDBEngine, rocksdb_options
+from ..lsm import Options
+from ..lsm.engine import Compaction, Event, OutputSink
+from ..lsm.version import FileMetaData, Version
+from ..storage import SimFS
+from ..sim import Environment
+from .compaction_file import CompactionFileSink
+from .fd_cache import FileDescriptorCache
+
+__all__ = [
+    "BoLTMixin",
+    "BoLTEngine",
+    "HyperBoLTEngine",
+    "RocksBoLTEngine",
+    "bolt_options",
+    "hyperbolt_options",
+    "rocksbolt_options",
+    "bolt_ablation_options",
+    "ABLATION_STAGES",
+]
+
+MB = 1 << 20
+KB = 1 << 10
+
+
+class BoLTMixin:
+    """The four BoLT techniques, as overrides of the base engine hooks."""
+
+    def __init__(self, env: Environment, fs: SimFS, options: Options,
+                 dbname: str = "db"):
+        super().__init__(env, fs, options, dbname)
+        self.fd_cache: Optional[FileDescriptorCache] = None
+        if options.enable_fd_cache:
+            self.fd_cache = FileDescriptorCache(fs, options.fd_cache_size)
+            self.table_cache.open_container = self.fd_cache.open
+
+    # -- §3.1: one compaction file per compaction ---------------------------
+
+    def _make_sink(self) -> OutputSink:
+        if not self.options.use_compaction_file:
+            return super()._make_sink()
+        return CompactionFileSink(self.fs, self.dbname,
+                                  self.versions.new_file_number())
+
+    # -- §3.3/§3.4: group + settled victim selection ---------------------------
+
+    def _pick_victims(self, version: Version, level: int) -> List[FileMetaData]:
+        opts = self.options
+        group_bytes = opts.group_compaction_bytes
+        if not group_bytes and not opts.enable_settled_compaction:
+            return super()._pick_victims(version, level)
+        candidates = [f for f in version.files[level]
+                      if f.number not in self._busy_tables]
+        if not candidates:
+            return []
+        budget = group_bytes if group_bytes else opts.sstable_size
+
+        if opts.enable_settled_compaction:
+            # §3.4: victims need not be contiguous — order candidates by
+            # ascending next-level overlap so zero-overlap tables settle.
+            ordered = sorted(candidates, key=lambda f: (
+                self._overlap_bytes(version, level, f), f.number))
+        else:
+            # §3.3: contiguous run after the round-robin pointer.
+            pointer = self.versions.compact_pointers.get(level)
+            start = 0
+            if pointer is not None:
+                for index, meta in enumerate(candidates):
+                    if meta.smallest > pointer:
+                        start = index
+                        break
+            ordered = candidates[start:] + candidates[:start]
+
+        victims: List[FileMetaData] = []
+        total = 0
+        for meta in ordered:
+            victims.append(meta)
+            total += meta.length
+            if total >= budget:
+                break
+        return victims
+
+    def _overlap_bytes(self, version: Version, level: int,
+                       meta: FileMetaData) -> int:
+        if level + 1 >= version.num_levels:
+            return 0
+        return sum(f.length for f in version.overlapping_files(
+            level + 1, meta.smallest, meta.largest))
+
+    def _split_settled(self, compaction: Compaction
+                       ) -> Tuple[List[FileMetaData], List[FileMetaData]]:
+        if not self.options.enable_settled_compaction:
+            return super()._split_settled(compaction)
+        settled: List[FileMetaData] = []
+        merge: List[FileMetaData] = []
+        for victim in compaction.victims:
+            overlaps_next = any(victim.overlaps(o.smallest, o.largest)
+                                for o in compaction.overlaps)
+            if not overlaps_next and compaction.level == 0:
+                # Level-0 victims may share keys; a victim can only
+                # settle if it overlaps no *other* victim, or a newer
+                # version of one of its keys could end up below it.
+                overlaps_next = any(
+                    victim.overlaps(other.smallest, other.largest)
+                    for other in compaction.victims if other is not victim)
+            (merge if overlaps_next else settled).append(victim)
+        return settled, merge
+
+    # -- §3.2: hole punching instead of unlink ---------------------------------
+
+    def _cleanup_tables(self, metas: List[FileMetaData]
+                        ) -> Generator[Event, Any, None]:
+        """Punch holes over dead logical SSTables; unlink a compaction
+        file only once no live table references it."""
+        live_containers: Dict[str, int] = {}
+        for meta in self.versions.current.live_numbers().values():
+            live_containers[meta.container] = live_containers.get(
+                meta.container, 0) + 1
+        punched_any = False
+        for meta in metas:
+            if not self.fs.exists(meta.container):
+                continue
+            if live_containers.get(meta.container, 0) == 0:
+                if self.fd_cache is not None:
+                    self.fd_cache.evict(meta.container)
+                yield from self.fs.unlink(meta.container)
+            else:
+                handle = yield from self._container_handle(meta.container)
+                handle.punch_hole(meta.offset, meta.length)
+                punched_any = True
+        if punched_any:
+            # §3.2: no fsync/fdatasync when punching holes — the lazy
+            # metadata sync is deliberately free of barriers.
+            pass
+
+    def _container_handle(self, name: str):
+        if self.fd_cache is not None:
+            return self.fd_cache.open(name)
+        return self.fs.open(name)
+
+
+class BoLTEngine(BoLTMixin, LevelDBEngine):
+    """BoLT integrated into LevelDB (the paper's primary build)."""
+
+    name = "bolt"
+
+
+class HyperBoLTEngine(BoLTMixin, HyperLevelDBEngine):
+    """BoLT integrated into HyperLevelDB (the paper's HyperBoLT)."""
+
+    name = "hyperbolt"
+
+
+class RocksBoLTEngine(BoLTMixin, RocksDBEngine):
+    """BoLT integrated into RocksDB — the paper's stated future work.
+
+    §4.1: "Since these [RocksDB] optimizations are independent of BoLT
+    designs, we can replace the LSM-tree implementation of RocksDB with
+    BoLT to improve its performance.  We leave the application of BoLT
+    in RocksDB as our future work."  Here it is: RocksDB's compact
+    record format, multi-threaded compaction, lock-free read path and
+    governors, with BoLT's compaction files, logical SSTables, group/
+    settled compaction and FD cache layered on top.
+    """
+
+    name = "rocksbolt"
+
+
+def bolt_options(scale: int = 1, logical_sstable: int = 1 * MB,
+                 group_bytes: int = 64 * MB, settled: bool = True,
+                 fd_cache: bool = True, **overrides) -> Options:
+    """Full BoLT configuration (§4.1: 1 MB logical SSTables; §4.2.1:
+    64 MB group compaction performed best)."""
+    options = leveldb_options(scale).copy(
+        sstable_size=max(1, logical_sstable // scale),
+        use_compaction_file=True,
+        group_compaction_bytes=max(1, group_bytes // scale) if group_bytes else 0,
+        enable_settled_compaction=settled,
+        enable_fd_cache=fd_cache,
+    )
+    return options.copy(**overrides) if overrides else options
+
+
+def hyperbolt_options(scale: int = 1, logical_sstable: int = 1 * MB,
+                      group_bytes: int = 64 * MB, settled: bool = True,
+                      fd_cache: bool = True, **overrides) -> Options:
+    """Full HyperBoLT configuration (HyperLevelDB base + BoLT features)."""
+    options = hyperleveldb_options(scale).copy(
+        sstable_size=max(1, logical_sstable // scale),
+        use_compaction_file=True,
+        group_compaction_bytes=max(1, group_bytes // scale) if group_bytes else 0,
+        enable_settled_compaction=settled,
+        enable_fd_cache=fd_cache,
+    )
+    return options.copy(**overrides) if overrides else options
+
+
+#: Fig 12 ablation stages, cumulative left to right.
+ABLATION_STAGES = ("stock", "+LS", "+GC", "+STL", "+FC")
+
+
+def rocksbolt_options(scale: int = 1, logical_sstable: int = 1 * MB,
+                      group_bytes: int = 64 * MB, settled: bool = True,
+                      fd_cache: bool = True, **overrides) -> Options:
+    """BoLT-in-RocksDB configuration (the paper's future work): RocksDB
+    defaults with the BoLT features enabled."""
+    options = rocksdb_options(scale).copy(
+        sstable_size=max(1, logical_sstable // scale),
+        use_compaction_file=True,
+        group_compaction_bytes=max(1, group_bytes // scale) if group_bytes else 0,
+        enable_settled_compaction=settled,
+        enable_fd_cache=fd_cache,
+    )
+    return options.copy(**overrides) if overrides else options
+
+
+def bolt_ablation_options(stage: str, scale: int = 1, base: str = "leveldb",
+                          **overrides) -> Options:
+    """Options for one Fig 12 ablation stage.
+
+    ``stock`` is the unmodified base engine; ``+LS`` adds compaction
+    files with 1 MB logical SSTables; ``+GC`` adds 64 MB group
+    compaction; ``+STL`` adds settled compaction; ``+FC`` adds the
+    file-descriptor cache.
+    """
+    if stage not in ABLATION_STAGES:
+        raise ValueError(f"unknown ablation stage {stage!r}")
+    base_factory = {"leveldb": leveldb_options,
+                    "hyperleveldb": hyperleveldb_options}[base]
+    options = base_factory(scale)
+    if stage == "stock":
+        return options.copy(**overrides) if overrides else options
+    index = ABLATION_STAGES.index(stage)
+    options = options.copy(
+        sstable_size=max(1, 1 * MB // scale),
+        use_compaction_file=True,
+        group_compaction_bytes=(max(1, 64 * MB // scale) if index >= 2 else 0),
+        enable_settled_compaction=index >= 3,
+        enable_fd_cache=index >= 4,
+    )
+    return options.copy(**overrides) if overrides else options

@@ -1,0 +1,50 @@
+"""Compaction files: one physical file per compaction (paper §3.1).
+
+Stock LevelDB writes each compaction output SSTable to its own file and
+pays one ``fsync()`` per file (Fig 3a).  BoLT's sink appends *every*
+output table of a compaction — as logical SSTables at increasing offsets
+— into a single ``.cf`` file and seals it with exactly **one** fsync
+(Fig 3b); the second and final barrier of the compaction is the MANIFEST
+commit in :meth:`repro.lsm.manifest.VersionSet.log_and_apply`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Tuple
+
+from ..lsm.engine import OutputSink
+from ..sim import Event
+from ..storage import FileHandle, SimFS
+
+__all__ = ["CompactionFileSink", "container_name"]
+
+
+def container_name(dbname: str, file_number: int) -> str:
+    return f"{dbname}/{file_number:06d}.cf"
+
+
+class CompactionFileSink(OutputSink):
+    """All output tables of one compaction share one physical file.
+
+    The file is created lazily — a compaction whose victims all settle
+    (§3.4) produces no outputs and therefore no file and no data
+    barrier at all.
+    """
+
+    def __init__(self, fs: SimFS, dbname: str, file_number: int):
+        self.fs = fs
+        self.name = container_name(dbname, file_number)
+        self._handle: Optional[FileHandle] = None
+        self.tables_written = 0
+
+    def next_handle(self, table_number: int
+                    ) -> Generator[Event, Any, Tuple[FileHandle, str]]:
+        if self._handle is None:
+            self._handle = yield from self.fs.create(self.name)
+        self.tables_written += 1
+        return self._handle, self.name
+
+    def seal(self) -> Generator[Event, Any, None]:
+        """One fsync for the whole compaction, however many tables."""
+        if self._handle is not None:
+            yield from self._handle.fsync()

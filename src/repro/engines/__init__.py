@@ -1,0 +1,23 @@
+"""Baseline key-value store engines the paper compares against.
+
+Each module pairs an engine class with a ``*_options(scale)`` factory
+returning the paper's §4.1 configuration for that system, scaled down by
+``scale`` (see :meth:`repro.lsm.Options.scaled`).
+"""
+
+from .leveldb import LevelDBEngine, leveldb_64mb_options, leveldb_options
+from .hyperleveldb import HyperLevelDBEngine, hyperleveldb_options
+from .rocksdb import RocksDBEngine, rocksdb_options
+from .pebblesdb import PebblesDBEngine, pebblesdb_options
+
+__all__ = [
+    "LevelDBEngine",
+    "leveldb_options",
+    "leveldb_64mb_options",
+    "HyperLevelDBEngine",
+    "hyperleveldb_options",
+    "RocksDBEngine",
+    "rocksdb_options",
+    "PebblesDBEngine",
+    "pebblesdb_options",
+]

@@ -1,0 +1,255 @@
+"""The PebblesDB baseline (SOSP'17): a Fragmented LSM-tree.
+
+PebblesDB partitions each level's keyspace with **guards** and allows
+SSTables *within* a guard to overlap.  Compacting a guard merge-sorts
+only that guard's tables and appends the partitioned outputs to the next
+level's guards **without merging the tables already there** — this is
+what buys its write throughput ("PebblesDB does not perform compactions
+even if there are overlapping SSTables at the same level", §4.3.1) and
+what costs its reads (every table in the matching guard must be probed).
+
+Guard keys are accumulated from compaction output boundaries, giving the
+deterministic equivalent of PebblesDB's probabilistic guard sampling:
+expected guard spacing equals the output table size, growing with level
+occupancy exactly as the FLSM paper intends.  Guards are persisted in
+the MANIFEST through the ``new_guards`` VersionEdit records.
+
+Paper-observed shapes this engine must reproduce: the best write-only
+(Load A/E) throughput of all systems; read throughput below HyperBoLT;
+in-memory bloom filters and the guard-sized TableCache footprint
+(§4.3.1 — here simply a consequence of having few, large tables).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..lsm import LSMEngine, Options
+from ..lsm.engine import Compaction, Event
+from ..lsm.iterators import collapse_versions, merge_streams
+from ..lsm.manifest import VersionEdit
+from ..lsm.version import FileMetaData, Version, key_range
+from ..sim import CostModel
+
+__all__ = ["PebblesDBEngine", "pebblesdb_options"]
+
+MB = 1 << 20
+
+Entry = Tuple[bytes, int, int, bytes]
+
+
+class PebblesDBEngine(LSMEngine):
+    """Fragmented LSM-tree with guards and append-only level placement."""
+
+    name = "pebblesdb"
+    read_lock = True
+
+    #: A guard holding more tables than this is merged in place, which
+    #: bounds per-guard read amplification (FLSM's guard compaction).
+    max_tables_per_guard = 8
+
+    # -- guard bookkeeping -------------------------------------------------
+
+    def _guard_index(self, level: int, key: bytes) -> int:
+        guards = self.versions.guards.get(level, [])
+        return bisect.bisect_right(guards, key)
+
+    def _guard_buckets(self, version: Version, level: int
+                       ) -> Dict[int, List[FileMetaData]]:
+        buckets: Dict[int, List[FileMetaData]] = {}
+        for meta in version.files[level]:
+            buckets.setdefault(
+                self._guard_index(level, meta.smallest), []).append(meta)
+        return buckets
+
+    # -- read path -----------------------------------------------------------
+
+    def _tables_for_key(self, version: Version, level: int,
+                        key: bytes) -> List[FileMetaData]:
+        """Probe every overlapping table in the key's guard, newest first
+        (tables within a guard overlap — the FLSM read penalty)."""
+        if level == 0:
+            return version.tables_for_key(0, key)
+        # All overlapping tables in the level must be probed: tables of
+        # the key's guard overlap each other, and guard refinement over
+        # time means an older table may span several current guards.
+        hits = [meta for meta in version.files[level]
+                if meta.smallest <= key <= meta.largest]
+        hits.sort(key=lambda f: f.number, reverse=True)
+        return hits
+
+    def _scan_level_sets(self, version: Version, level: int,
+                         start_key: bytes) -> List[List[FileMetaData]]:
+        """Every table is its own stream: level files may interleave."""
+        return [[f] for f in version.files[level] if f.largest >= start_key]
+
+    # -- compaction picking ----------------------------------------------------
+
+    def _expand_same_level(self, version: Version, level: int,
+                           seed: List[FileMetaData]) -> List[FileMetaData]:
+        """Transitive overlap closure within ``level``.
+
+        Victim sets must be closed under same-level overlap so that all
+        versions of a key move (or merge) together — otherwise the
+        newest-first probe order by file number would surface stale
+        versions after a compaction renumbers part of a key's history.
+        """
+        chosen = list(seed)
+        numbers = {m.number for m in chosen}
+        changed = True
+        while changed:
+            changed = False
+            lo, hi = key_range(chosen)
+            for meta in version.files[level]:
+                if meta.number not in numbers and meta.overlaps(lo, hi):
+                    chosen.append(meta)
+                    numbers.add(meta.number)
+                    changed = True
+        return chosen
+
+    def _oversized_guard(self, version: Version
+                         ) -> Optional[Tuple[int, List[FileMetaData]]]:
+        for level in range(1, version.num_levels):
+            for bucket in self._guard_buckets(version, level).values():
+                if len(bucket) > self.max_tables_per_guard:
+                    closure = self._expand_same_level(version, level, bucket)
+                    if not any(m.number in self._busy_tables
+                               for m in closure):
+                        return level, closure
+        return None
+
+    def has_pending_work(self) -> bool:
+        if super().has_pending_work():
+            return True
+        return self._oversized_guard(self.versions.current) is not None
+
+    def _pick_compaction(self) -> Optional[Compaction]:
+        version = self.versions.current
+        level, score = self.versions.pick_compaction_level()
+        if score >= 1.0 and 0 <= level < version.num_levels - 1:
+            victims = self._guard_victims(version, level)
+            if victims and not any(m.number in self._busy_tables
+                                   for m in victims):
+                return Compaction(level, victims, [])
+        oversized = self._oversized_guard(version)
+        if oversized is not None:
+            guard_level, bucket = oversized
+            return Compaction(guard_level, bucket, [], in_place=True)
+        return None
+
+    def _guard_victims(self, version: Version,
+                       level: int) -> List[FileMetaData]:
+        if level == 0:
+            return list(version.files[0])
+        buckets = self._guard_buckets(version, level)
+        if not buckets:
+            return []
+        best = max(buckets.values(), key=lambda b: sum(f.length for f in b))
+        return self._expand_same_level(version, level, best)
+
+    # -- compaction execution ------------------------------------------------
+
+    def _run_compaction(self, compaction: Compaction
+                        ) -> Generator[Event, Any, None]:
+        """Merge the victim guard; append partitioned outputs to the
+        target level's guards without touching resident tables."""
+        started = self.env.now
+        self.stats.compactions += 1
+        self.stats.group_victims += len(compaction.victims)
+        version = self.versions.current
+        meter = self._bg_meter()
+        target_level = (compaction.level if compaction.in_place
+                        else compaction.level + 1)
+
+        if (len(compaction.victims) == 1 and not compaction.in_place):
+            # Single-table guard: move it down without rewriting (the
+            # degenerate FLSM case, equivalent to LevelDB's trivial move).
+            meta = compaction.victims[0]
+            edit = VersionEdit()
+            edit.delete_file(compaction.level, meta.number)
+            edit.add_file(target_level, FileMetaData(
+                number=meta.number, container=meta.container,
+                offset=meta.offset, length=meta.length,
+                smallest=meta.smallest, largest=meta.largest,
+                num_entries=meta.num_entries))
+            self._register_guards(edit, target_level, [meta])
+            yield from self.versions.log_and_apply(edit, meter)
+            self.stats.trivial_moves += 1
+            self.stats.compaction_time += self.env.now - started
+            self._maybe_schedule_more()
+            return
+
+        streams: List[List[Entry]] = []
+        for meta in compaction.victims:
+            reader = yield from self.table_cache.find_table(
+                meta.number, meta.container, meta.offset, meta.length, meter)
+            entries = yield from reader.iter_entries(meter)
+            streams.append(entries)
+            self.stats.compaction_bytes_read += meta.length
+            meter.charge(meter.model.merge_per_record * len(entries))
+        lo, hi = key_range(compaction.victims)
+        # Tombstones may only be dropped when no older version of a key
+        # can survive elsewhere: nothing deeper than the target level,
+        # and no resident table at the target level (outputs are merely
+        # appended beside resident tables, which hold older data).
+        if compaction.in_place:
+            resident = self._other_tables_overlap(version, compaction, lo, hi)
+        else:
+            resident = any(f.overlaps(lo, hi)
+                           for f in version.files[target_level])
+        drop = self._is_base_level(version, target_level, lo, hi) and not resident
+        merged = collapse_versions(merge_streams(streams), drop,
+                                   snapshots=self.live_snapshot_sequences())
+
+        sink = self._make_sink()
+        guards = list(self.versions.guards.get(target_level, []))
+        output_metas = yield from self._build_tables(
+            merged, sink, meter, cut_keys=guards)
+
+        edit = VersionEdit()
+        for meta in compaction.victims:
+            edit.delete_file(compaction.level, meta.number)
+        for meta in output_metas:
+            edit.add_file(target_level, meta)
+        self._register_guards(edit, target_level, output_metas)
+        yield from self.versions.log_and_apply(edit, meter)
+        yield from meter.drain()
+        self._schedule_cleanup(list(compaction.victims))
+        self.stats.compaction_time += self.env.now - started
+        self._maybe_schedule_more()
+
+    def _other_tables_overlap(self, version: Version, compaction: Compaction,
+                              lo: bytes, hi: bytes) -> bool:
+        victim_numbers = {m.number for m in compaction.victims}
+        return any(f.overlaps(lo, hi)
+                   for f in version.files[compaction.level]
+                   if f.number not in victim_numbers)
+
+    def _register_guards(self, edit: VersionEdit, level: int,
+                         outputs: List[FileMetaData]) -> None:
+        """Adopt output boundaries as guards for ``level``."""
+        existing = set(self.versions.guards.get(level, []))
+        for meta in outputs[1:]:
+            if meta.smallest not in existing:
+                edit.add_guard(level, meta.smallest)
+                existing.add(meta.smallest)
+
+
+def pebblesdb_options(scale: int = 1, **overrides) -> Options:
+    """Paper §4.1 PebblesDB configuration: HyperLevelDB heritage, very
+    large SSTables (64–512 MB; output cut at 64 MB here), governors
+    weakened, seek compaction off."""
+    options = Options(
+        memtable_size=64 * MB,
+        sstable_size=64 * MB,
+        level1_max_bytes=10 * MB,
+        l0_compaction_trigger=4,
+        l0_slowdown_trigger=20,
+        l0_stop_trigger=1 << 30,
+        enable_l0_stop=False,
+        enable_seek_compaction=False,
+        num_compaction_threads=1,
+        cost_model=CostModel(write_mutex_overhead=0.2e-6),
+    ).scaled(scale)
+    return options.copy(**overrides) if overrides else options

@@ -1,0 +1,64 @@
+"""Generic LSM-tree substrate: everything LevelDB-shaped that BoLT and
+the baseline engines are built from.
+
+Module map:
+
+* :mod:`~repro.lsm.codec` — varints, CRC framing, value-type tags.
+* :mod:`~repro.lsm.skiplist` / :mod:`~repro.lsm.memtable` — write buffer.
+* :mod:`~repro.lsm.wal` — write-ahead log and :class:`WriteBatch`.
+* :mod:`~repro.lsm.bloom` / :mod:`~repro.lsm.sstable` — table format.
+* :mod:`~repro.lsm.cache` — TableCache / BlockCache (§2.5–2.6).
+* :mod:`~repro.lsm.version` / :mod:`~repro.lsm.manifest` — the table
+  tree and its commit-mark log (§2.4).
+* :mod:`~repro.lsm.engine` — the full leveled engine.
+"""
+
+from .bloom import BloomFilter
+from .cache import BlockCache, LRUCache, TableCache
+from .codec import CorruptionError, MAX_SEQUENCE, VALUE_TYPE_DELETION, VALUE_TYPE_VALUE
+from .engine import (Compaction, EngineStats, LSMEngine, OutputSink,
+                     PerTableFileSink, Snapshot)
+from .manifest import VersionEdit, VersionSet
+from .memtable import DELETED, FOUND, MemTable, NOT_FOUND
+from .options import LEVELDB_FORMAT, Options, ROCKSDB_FORMAT, TableFormat
+from .skiplist import SkipList
+from .sstable import DataBlock, SSTableBuilder, SSTableReader, TableInfo
+from .version import FileMetaData, Version
+from .wal import LogWriter, WriteBatch, read_log_records
+
+__all__ = [
+    "BloomFilter",
+    "BlockCache",
+    "LRUCache",
+    "TableCache",
+    "CorruptionError",
+    "MAX_SEQUENCE",
+    "VALUE_TYPE_DELETION",
+    "VALUE_TYPE_VALUE",
+    "Compaction",
+    "EngineStats",
+    "LSMEngine",
+    "OutputSink",
+    "PerTableFileSink",
+    "Snapshot",
+    "VersionEdit",
+    "VersionSet",
+    "DELETED",
+    "FOUND",
+    "NOT_FOUND",
+    "MemTable",
+    "Options",
+    "TableFormat",
+    "LEVELDB_FORMAT",
+    "ROCKSDB_FORMAT",
+    "SkipList",
+    "DataBlock",
+    "SSTableBuilder",
+    "SSTableReader",
+    "TableInfo",
+    "FileMetaData",
+    "Version",
+    "LogWriter",
+    "WriteBatch",
+    "read_log_records",
+]

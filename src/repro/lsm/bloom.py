@@ -1,0 +1,88 @@
+"""Bloom filter, as attached to every SSTable (paper §2.5, §4.1).
+
+The paper configures "10 bloom bits [per key], 1% false-positive rate,
+as is commonly used in industry" — that is this module's default.  The
+hashing scheme is LevelDB's double hashing over a single base hash.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["BloomFilter"]
+
+
+def _base_hash(key: bytes, seed: int = 0xBC9F1D34) -> int:
+    """A 32-bit multiplicative hash (same family as LevelDB's Hash())."""
+    h = seed ^ (len(key) * 0xC6A4A793)
+    for i in range(0, len(key) - 3, 4):
+        word = int.from_bytes(key[i:i + 4], "little")
+        h = (h + word) & 0xFFFFFFFF
+        h = (h * 0xC6A4A793) & 0xFFFFFFFF
+        h ^= h >> 16
+    tail = len(key) & 3
+    if tail:
+        word = int.from_bytes(key[-tail:], "little")
+        h = (h + word) & 0xFFFFFFFF
+        h = (h * 0xC6A4A793) & 0xFFFFFFFF
+        h ^= h >> 24
+    return h
+
+
+class BloomFilter:
+    """A fixed-size bloom filter with double hashing."""
+
+    def __init__(self, num_keys: int, bits_per_key: int = 10):
+        if bits_per_key < 1:
+            raise ValueError("bits_per_key must be >= 1")
+        self.bits_per_key = bits_per_key
+        # k = bits_per_key * ln(2), clamped as LevelDB does.
+        self.num_probes = max(1, min(30, int(bits_per_key * 0.69)))
+        nbits = max(64, num_keys * bits_per_key)
+        self._nbits = (nbits + 7) // 8 * 8
+        self._bits = bytearray(self._nbits // 8)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._bits)
+
+    def add(self, key: bytes) -> None:
+        h = _base_hash(key)
+        delta = ((h >> 17) | (h << 15)) & 0xFFFFFFFF
+        for _ in range(self.num_probes):
+            pos = h % self._nbits
+            self._bits[pos // 8] |= 1 << (pos % 8)
+            h = (h + delta) & 0xFFFFFFFF
+
+    def add_all(self, keys: Iterable[bytes]) -> None:
+        for key in keys:
+            self.add(key)
+
+    def may_contain(self, key: bytes) -> bool:
+        h = _base_hash(key)
+        delta = ((h >> 17) | (h << 15)) & 0xFFFFFFFF
+        for _ in range(self.num_probes):
+            pos = h % self._nbits
+            if not self._bits[pos // 8] & (1 << (pos % 8)):
+                return False
+            h = (h + delta) & 0xFFFFFFFF
+        return True
+
+    # -- serialization ------------------------------------------------------
+
+    def encode(self) -> bytes:
+        return bytes([self.num_probes, self.bits_per_key]) + bytes(self._bits)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "BloomFilter":
+        if len(data) < 2:
+            raise ValueError("bloom filter blob too short")
+        filt = cls.__new__(cls)
+        filt.num_probes = data[0]
+        filt.bits_per_key = data[1]
+        filt._bits = bytearray(data[2:])
+        filt._nbits = len(filt._bits) * 8
+        if filt._nbits == 0:
+            filt._bits = bytearray(8)
+            filt._nbits = 64
+        return filt

@@ -1,0 +1,151 @@
+"""In-memory caches: generic LRU, BlockCache and TableCache (§2.5–2.6).
+
+Two properties from the paper are modelled faithfully:
+
+* The **TableCache is counted in tables, not bytes** ("the TableCache
+  size in LevelDB and its variants is determined by the number of
+  SSTables, not bytes", §4.3.1) — so engines with huge SSTables get a
+  proportionally huge metadata cache for free, and engines with small
+  tables (BoLT's logical SSTables) pollute it less per entry.
+* A **TableCache miss costs an index-block read proportional to the
+  SSTable size** (§2.6) — the open path re-reads footer/index/bloom
+  through :meth:`~repro.lsm.sstable.SSTableReader.open`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Generator, Hashable, Optional, Tuple
+
+from ..sim import CpuMeter, Event
+from ..storage import FileHandle, SimFS
+from .options import Options
+from .sstable import SSTableReader
+
+__all__ = ["LRUCache", "BlockCache", "TableCache"]
+
+
+class LRUCache:
+    """A byte- or count-capacity LRU map with hit/miss statistics."""
+
+    def __init__(self, capacity: float, by_bytes: bool = True):
+        self.capacity = capacity
+        self.by_bytes = by_bytes
+        self._entries: "OrderedDict[Hashable, Tuple[Any, int]]" = OrderedDict()
+        self._charge = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def charged(self) -> int:
+        return self._charge
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry[0]
+
+    def peek(self, key: Hashable) -> Optional[Any]:
+        """Like get() but without statistics or promotion."""
+        entry = self._entries.get(key)
+        return entry[0] if entry is not None else None
+
+    def put(self, key: Hashable, value: Any, charge: int = 1) -> None:
+        if key in self._entries:
+            _old, old_charge = self._entries.pop(key)
+            self._charge -= old_charge
+        self._entries[key] = (value, charge)
+        self._charge += charge
+        limit = self.capacity if self.by_bytes else self.capacity
+        while self._entries and (
+                (self.by_bytes and self._charge > limit)
+                or (not self.by_bytes and len(self._entries) > limit)):
+            _k, (_v, ch) = self._entries.popitem(last=False)
+            self._charge -= ch
+            self.evictions += 1
+
+    def remove(self, key: Hashable) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._charge -= entry[1]
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._charge = 0
+
+
+class BlockCache(LRUCache):
+    """Caches decoded data blocks, keyed ``(table_uid, block_offset)``."""
+
+    def __init__(self, capacity_bytes: int):
+        super().__init__(capacity_bytes, by_bytes=True)
+
+
+class TableCache:
+    """Caches opened tables (index block + bloom filter + descriptor).
+
+    Capacity is the ``max_open_files`` option, counted in **tables**.
+    On a miss the table is re-opened: a filesystem ``open`` (unless the
+    engine's FD-cache hook supplies a cached handle) plus device reads
+    of footer, index block and bloom filter.
+    """
+
+    def __init__(self, fs: SimFS, options: Options):
+        self.fs = fs
+        self.options = options
+        self._cache = LRUCache(options.max_open_files, by_bytes=False)
+        #: Optional hook: coroutine (container_name) -> FileHandle.  BoLT
+        #: installs its per-compaction-file FD cache here (+FC, §3.2.1).
+        self.open_container: Optional[Callable] = None
+        self.index_bytes_loaded = 0
+
+    @property
+    def hits(self) -> int:
+        return self._cache.hits
+
+    @property
+    def misses(self) -> int:
+        return self._cache.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self._cache.hit_ratio
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def find_table(self, uid: int, container_name: str, base_offset: int,
+                   length: int, meter: Optional[CpuMeter] = None
+                   ) -> Generator[Event, Any, SSTableReader]:
+        """Return a cached reader for the table, opening it on miss."""
+        reader = self._cache.get(uid)
+        if reader is not None:
+            return reader
+        if self.open_container is not None:
+            handle = yield from self.open_container(container_name)
+        else:
+            handle = yield from self.fs.open(container_name)
+        reader = yield from SSTableReader.open(
+            uid, handle, self.options.table_format, base_offset, length, meter)
+        self.index_bytes_loaded += reader.index_size
+        self._cache.put(uid, reader)
+        return reader
+
+    def evict(self, uid: int) -> None:
+        self._cache.remove(uid)
+
+    def clear(self) -> None:
+        self._cache.clear()

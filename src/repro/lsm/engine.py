@@ -1,0 +1,998 @@
+"""The base leveled LSM-tree engine (LevelDB architecture, §2).
+
+All public operations (:meth:`LSMEngine.put`, :meth:`get`, :meth:`scan`,
+...) are simulation coroutines; ``*_sync`` facades drive the event loop
+for callers outside a simulated process.  The engine runs one or more
+background compaction workers as simulated processes, and the write path
+implements LevelDB's MakeRoomForWrite governors (L0SlowDown, L0Stop,
+immutable-MemTable wait) so write stalls emerge from the same dynamics
+the paper describes in §2.3.
+
+Subclasses (HyperLevelDB / RocksDB baselines, and BoLT in
+:mod:`repro.core`) specialize victim selection, output sinks, table
+formats and cleanup, all through narrow hook methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Iterable, List, Optional, Set, Tuple
+
+from ..sim import Condition, CpuMeter, Environment, Event, Interrupt, Resource
+from ..storage import FileHandle, SimFS
+from .cache import BlockCache, TableCache
+from .iterators import collapse_versions, merge_scan, merge_streams
+from .memtable import FOUND, NOT_FOUND, MemTable
+from .manifest import VersionEdit, VersionSet
+from .options import Options
+from .sstable import SSTableBuilder
+from .version import FileMetaData, Version, key_range
+from .wal import LogWriter, WriteBatch, read_log_records
+
+__all__ = ["LSMEngine", "EngineStats", "Compaction", "OutputSink",
+           "PerTableFileSink", "Snapshot"]
+
+Entry = Tuple[bytes, int, int, bytes]
+
+
+@dataclass
+class EngineStats:
+    """Engine-level counters (device/fs counters live on their objects)."""
+
+    puts: int = 0
+    deletes: int = 0
+    gets: int = 0
+    gets_found: int = 0
+    scans: int = 0
+    #: Time writers spent in the 1 ms L0SlowDown sleeps.
+    slowdown_time: float = 0.0
+    slowdown_events: int = 0
+    #: Time writers spent fully blocked (imm wait / L0Stop).
+    stall_time: float = 0.0
+    stall_events: int = 0
+    memtable_flushes: int = 0
+    compactions: int = 0
+    seek_compactions: int = 0
+    trivial_moves: int = 0
+    settled_promotions: int = 0
+    group_victims: int = 0
+    compaction_bytes_read: int = 0
+    compaction_bytes_written: int = 0
+    compaction_time: float = 0.0
+    tables_probed: int = 0
+
+    def snapshot(self) -> "EngineStats":
+        return EngineStats(**vars(self))
+
+
+@dataclass
+class Compaction:
+    """A picked compaction: victims at ``level`` + overlaps at ``level+1``."""
+
+    level: int
+    victims: List[FileMetaData]
+    overlaps: List[FileMetaData]
+    is_seek_compaction: bool = False
+    #: True for a within-level merge (PebblesDB's guard compaction).
+    in_place: bool = False
+
+    @property
+    def inputs(self) -> List[FileMetaData]:
+        return self.victims + self.overlaps
+
+    @property
+    def output_level(self) -> int:
+        return self.level if self.in_place else self.level + 1
+
+
+class Snapshot:
+    """A pinned read view (see :meth:`LSMEngine.snapshot`)."""
+
+    __slots__ = ("_engine", "sequence", "_released")
+
+    def __init__(self, engine: "LSMEngine", sequence: int):
+        self._engine = engine
+        self.sequence = sequence
+        self._released = False
+
+    def release(self) -> None:
+        """Allow compaction to reclaim versions this snapshot pinned."""
+        if not self._released:
+            self._released = True
+            self._engine._release_snapshot(self.sequence)
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class OutputSink:
+    """Where compaction/flush outputs are written.
+
+    The stock implementation creates one physical file per table and
+    fsyncs each (Fig 3a); BoLT's sink (repro.core) writes every table
+    into a single compaction file and fsyncs once (Fig 3b).
+    """
+
+    def next_handle(self, table_number: int
+                    ) -> Generator[Event, Any, Tuple[FileHandle, str]]:
+        """Return ``(handle, container_name)`` for the next table."""
+        raise NotImplementedError
+
+    def seal(self) -> Generator[Event, Any, None]:
+        """Make every written table durable (the data barrier(s))."""
+        raise NotImplementedError
+
+
+class PerTableFileSink(OutputSink):
+    """One ``.ldb`` file per SSTable; one fsync per file (stock LevelDB).
+
+    With ``ordered_only`` (the §5 BarrierFS mode) each file is sealed by
+    an fdatabarrier() instead: ordering is guaranteed, and durability
+    arrives with the MANIFEST's fsync, whose device FLUSH covers the
+    previously-dispatched data.
+    """
+
+    def __init__(self, fs: SimFS, dbname: str, ordered_only: bool = False):
+        self.fs = fs
+        self.dbname = dbname
+        self.ordered_only = ordered_only
+        self._handles: List[FileHandle] = []
+
+    def next_handle(self, table_number: int
+                    ) -> Generator[Event, Any, Tuple[FileHandle, str]]:
+        name = f"{self.dbname}/{table_number:06d}.ldb"
+        handle = yield from self.fs.create(name)
+        self._handles.append(handle)
+        return handle, name
+
+    def seal(self) -> Generator[Event, Any, None]:
+        for handle in self._handles:
+            if self.ordered_only:
+                yield from handle.fdatabarrier()
+            else:
+                yield from handle.fsync()
+
+
+class LSMEngine:
+    """Leveled LSM-tree key-value store over SimFS."""
+
+    name = "leveldb"
+    #: Whether reads take the global db mutex for their in-memory phase
+    #: (LevelDB family: yes; the RocksDB baseline overrides to False to
+    #: model its concurrent read path, §4.3.1).
+    read_lock = True
+
+    def __init__(self, env: Environment, fs: SimFS, options: Options,
+                 dbname: str = "db"):
+        options.validate()
+        self.env = env
+        self.fs = fs
+        self.options = options
+        self.dbname = dbname
+        self.stats = EngineStats()
+
+        self.versions = VersionSet(env, fs, options, dbname)
+        self.table_cache = TableCache(fs, options)
+        self.block_cache = BlockCache(options.block_cache_bytes)
+
+        self._memtable = MemTable(seed=options.seed)
+        self._imm: Optional[MemTable] = None
+        self._wal_handle: Optional[FileHandle] = None
+        self._wal_writer: Optional[LogWriter] = None
+        self._wal_number = 0
+        self._imm_wal_name: Optional[str] = None
+
+        self._mutex = Resource(env, 1, name=f"{dbname}-mutex")
+        self._bg_work = Condition(env, name=f"{dbname}-bg-work")
+        self._bg_done = Condition(env, name=f"{dbname}-bg-done")
+        self._busy_tables: Set[int] = set()
+        self._flush_in_progress = False
+        self._compactions_in_progress = 0
+        self._file_to_compact: Optional[Tuple[int, FileMetaData]] = None
+        self._closed = False
+        self._workers: List[Any] = []
+
+        self._inflight_reads = 0
+        self._deferred_cleanup: List[FileMetaData] = []
+        #: Live read snapshots: sequence -> refcount.  Compactions keep
+        #: one version per snapshot interval (LevelDB's rule).
+        self._snapshots: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, env: Environment, fs: SimFS, options: Options,
+             dbname: str = "db") -> Generator[Event, Any, "LSMEngine"]:
+        """Create a new database or recover an existing one."""
+        engine = cls(env, fs, options, dbname)
+        if fs.exists(f"{dbname}/CURRENT"):
+            yield from engine._recover()
+        else:
+            yield from engine.versions.create_new()
+            yield from engine._new_wal()
+        engine._start_workers()
+        return engine
+
+    @classmethod
+    def open_sync(cls, env: Environment, fs: SimFS, options: Options,
+                  dbname: str = "db") -> "LSMEngine":
+        return env.run_until(env.process(cls.open(env, fs, options, dbname)))
+
+    def _start_workers(self) -> None:
+        for worker_id in range(self.options.num_compaction_threads):
+            proc = self.env.process(self._background_worker(),
+                                    name=f"{self.dbname}-bg{worker_id}")
+            proc.add_callback(self._on_worker_exit)
+            self._workers.append(proc)
+
+    def _on_worker_exit(self, event) -> None:
+        # A background worker must never die with an exception; surface
+        # it loudly instead of letting the simulation deadlock silently.
+        # (Interrupt is the kill() path — a deliberate unclean stop.)
+        if event.exception is not None and not isinstance(
+                event.exception, Interrupt):
+            raise event.exception
+
+    def kill(self) -> None:
+        """Simulate unclean process death.
+
+        Background workers stop immediately, mid-compaction; nothing is
+        flushed or synced.  The on-disk image is left exactly as it was,
+        so ``fs.crash()`` on top of ``kill()`` models power loss with
+        whatever was in the page cache at that instant.
+        """
+        self._closed = True
+        for worker in self._workers:
+            worker.interrupt("killed")
+        self._bg_work.notify_all()
+
+    def close(self) -> Generator[Event, Any, None]:
+        """Stop background workers after the tree quiesces."""
+        yield from self.wait_idle()
+        self._closed = True
+        self._bg_work.notify_all()
+        if self._wal_handle is not None:
+            yield from self._wal_handle.fsync()
+
+    def close_sync(self) -> None:
+        self.env.run_until(self.env.process(self.close()))
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _meter(self) -> CpuMeter:
+        return CpuMeter(self.env, self.options.cost_model)
+
+    def _bg_meter(self) -> CpuMeter:
+        """Meter for background jobs: most CPU overlaps device I/O."""
+        model = self.options.cost_model
+        return CpuMeter(self.env, model, scale=model.background_cpu_residue)
+
+    def _new_wal(self) -> Generator[Event, Any, None]:
+        self._wal_number = self.versions.new_file_number()
+        name = f"{self.dbname}/{self._wal_number:06d}.log"
+        self._wal_handle = yield from self.fs.create(name)
+        self._wal_writer = LogWriter(self._wal_handle)
+
+    def _wal_name(self, number: int) -> str:
+        return f"{self.dbname}/{number:06d}.log"
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> Generator[Event, Any, None]:
+        batch = WriteBatch()
+        batch.put(key, value)
+        self.stats.puts += 1
+        yield from self.write(batch)
+
+    def delete(self, key: bytes) -> Generator[Event, Any, None]:
+        batch = WriteBatch()
+        batch.delete(key)
+        self.stats.deletes += 1
+        yield from self.write(batch)
+
+    def write(self, batch: WriteBatch) -> Generator[Event, Any, None]:
+        """Apply a write batch: WAL append + MemTable insert, under the
+        writer mutex, stalling per the §2.3 governors when needed."""
+        if not len(batch):
+            return
+        meter = self._meter()
+        meter.charge(meter.model.write_mutex_overhead)
+        yield self._mutex.acquire()
+        try:
+            yield from self._make_room(meter)
+            first_seq = self.versions.last_sequence + 1
+            self.versions.last_sequence += len(batch)
+            self._wal_writer.append(batch.encode(first_seq), meter)
+            if self.options.wal_sync:
+                yield from self._wal_handle.fdatasync()
+            seq = first_seq
+            for value_type, key, value in batch.ops:
+                self._memtable.add(seq, value_type, key, value)
+                meter.charge(meter.model.memtable_insert)
+                seq += 1
+            yield from meter.drain()
+        finally:
+            self._mutex.release()
+
+    def _make_room(self, meter: CpuMeter) -> Generator[Event, Any, None]:
+        """LevelDB's MakeRoomForWrite: sleep/stall/rotate as required.
+
+        Called with the mutex held; releases it around sleeps/waits.
+        """
+        opts = self.options
+        allow_delay = opts.enable_l0_slowdown
+        while True:
+            l0_files = self.versions.l0_unit_count()
+            if allow_delay and l0_files >= opts.l0_slowdown_trigger:
+                # L0SlowDown: sleep 1 ms once, ceding the mutex (§2.3).
+                allow_delay = False
+                self.stats.slowdown_events += 1
+                self.stats.slowdown_time += opts.slowdown_sleep
+                self._mutex.release()
+                yield self.env.timeout(opts.slowdown_sleep)
+                yield self._mutex.acquire()
+            elif self._memtable.approximate_memory_usage <= opts.memtable_size:
+                return
+            elif self._imm is not None:
+                # Previous MemTable still flushing: hard stall.
+                yield from self._stall("imm-wait")
+            elif opts.enable_l0_stop and l0_files >= opts.l0_stop_trigger:
+                # L0Stop governor: block until compaction makes room.
+                yield from self._stall("l0-stop")
+            else:
+                # Rotate: current MemTable becomes immutable.
+                self._imm = self._memtable
+                self._imm_wal_name = self._wal_name(self._wal_number)
+                self._memtable = MemTable(seed=opts.seed)
+                yield from self._new_wal()
+                self._bg_work.notify_all()
+
+    def _stall(self, _why: str) -> Generator[Event, Any, None]:
+        self.stats.stall_events += 1
+        started = self.env.now
+        waiter = self._bg_done.wait()
+        self._bg_work.notify_all()
+        self._mutex.release()
+        yield waiter
+        self.stats.stall_time += self.env.now - started
+        yield self._mutex.acquire()
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> "Snapshot":
+        """Pin the current state for repeatable reads.
+
+        Reads through the snapshot see exactly the versions visible at
+        this sequence number, surviving later writes *and* compactions;
+        release it (or use it as a context manager) so compaction can
+        reclaim the shadowed versions.
+        """
+        sequence = self.versions.last_sequence
+        self._snapshots[sequence] = self._snapshots.get(sequence, 0) + 1
+        return Snapshot(self, sequence)
+
+    def _release_snapshot(self, sequence: int) -> None:
+        count = self._snapshots.get(sequence, 0)
+        if count <= 1:
+            self._snapshots.pop(sequence, None)
+        else:
+            self._snapshots[sequence] = count - 1
+
+    def live_snapshot_sequences(self) -> List[int]:
+        return sorted(self._snapshots)
+
+    # sync facades -------------------------------------------------------
+
+    def put_sync(self, key: bytes, value: bytes) -> None:
+        self.env.run_until(self.env.process(self.put(key, value)))
+
+    def delete_sync(self, key: bytes) -> None:
+        self.env.run_until(self.env.process(self.delete(key)))
+
+    def get_sync(self, key: bytes,
+                 snapshot: Optional[Snapshot] = None) -> Optional[bytes]:
+        return self.env.run_until(self.env.process(self.get(key, snapshot)))
+
+    def scan_sync(self, start_key: bytes, count: int,
+                  snapshot: Optional[Snapshot] = None
+                  ) -> List[Tuple[bytes, bytes]]:
+        return self.env.run_until(
+            self.env.process(self.scan(start_key, count, snapshot)))
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def get(self, key: bytes, snapshot: Optional[Snapshot] = None
+            ) -> Generator[Event, Any, Optional[bytes]]:
+        """Point lookup: MemTables, then levels 0..k (§2.5).
+
+        With ``snapshot``, reads the pinned historical view.
+        """
+        meter = self._meter()
+        self.stats.gets += 1
+        if snapshot is not None and snapshot.released:
+            raise ValueError("read through a released snapshot")
+        if self.read_lock:
+            yield self._mutex.acquire()
+        snapshot = (snapshot.sequence if snapshot is not None
+                    else self.versions.last_sequence)
+        meter.charge(meter.model.memtable_lookup)
+        state, value = self._memtable.get(key, snapshot)
+        if state == NOT_FOUND and self._imm is not None:
+            meter.charge(meter.model.memtable_lookup)
+            state, value = self._imm.get(key, snapshot)
+        version = self.versions.current
+        if self.read_lock:
+            self._mutex.release()
+        if state != NOT_FOUND:
+            yield from meter.drain()
+            if state == FOUND:
+                self.stats.gets_found += 1
+                return value
+            return None
+
+        self._inflight_reads += 1
+        first_probed: Optional[Tuple[int, FileMetaData]] = None
+        probes = 0
+        try:
+            for level in range(version.num_levels):
+                for meta in self._tables_for_key(version, level, key):
+                    probes += 1
+                    self.stats.tables_probed += 1
+                    if first_probed is None:
+                        first_probed = (level, meta)
+                    reader = yield from self.table_cache.find_table(
+                        meta.number, meta.container, meta.offset, meta.length,
+                        meter)
+                    state, value = yield from reader.get(
+                        key, snapshot, meter, self.block_cache)
+                    if state != NOT_FOUND:
+                        self._maybe_seek_compact(first_probed, probes,
+                                                 (level, meta))
+                        yield from meter.drain()
+                        if state == FOUND:
+                            self.stats.gets_found += 1
+                            return value
+                        return None
+            self._maybe_seek_compact(first_probed, probes, None)
+            yield from meter.drain()
+            return None
+        finally:
+            self._inflight_reads -= 1
+            self._maybe_run_deferred_cleanup()
+
+    def _tables_for_key(self, version: Version, level: int,
+                        key: bytes) -> List[FileMetaData]:
+        """Hook: probe order of tables at ``level`` for ``key``."""
+        return version.tables_for_key(level, key)
+
+    def _scan_level_sets(self, version: Version, level: int,
+                         start_key: bytes) -> List[List[FileMetaData]]:
+        """Hook: group a level's tables into internally-sorted streams
+        for a range scan.  Level 0 tables overlap, so each is its own
+        stream; deeper levels are disjoint and form one sorted stream."""
+        files = [f for f in version.files[level] if f.largest >= start_key]
+        if level == 0:
+            return [[f] for f in files]
+        files.sort(key=lambda f: f.smallest)
+        return [files] if files else []
+
+    def _maybe_seek_compact(self, first_probed, probes, found_at) -> None:
+        """LevelDB's seek-compaction accounting: a get that had to probe
+        more than one table charges the first table's seek budget."""
+        if not self.options.enable_seek_compaction:
+            return
+        if first_probed is None or probes < 2 or found_at == first_probed:
+            return
+        level, meta = first_probed
+        meta.allowed_seeks -= 1
+        if meta.allowed_seeks <= 0 and self._file_to_compact is None:
+            self._file_to_compact = (level, meta)
+            self._bg_work.notify_all()
+
+    def scan(self, start_key: bytes, count: int,
+             snapshot: Optional[Snapshot] = None
+             ) -> Generator[Event, Any, List[Tuple[bytes, bytes]]]:
+        """Range scan of the first ``count`` live keys >= ``start_key``."""
+        meter = self._meter()
+        self.stats.scans += 1
+        if snapshot is not None and snapshot.released:
+            raise ValueError("read through a released snapshot")
+        if self.read_lock:
+            yield self._mutex.acquire()
+        snapshot = (snapshot.sequence if snapshot is not None
+                    else self.versions.last_sequence)
+        streams: List[List[Entry]] = [list(self._memtable.entries_from(start_key))]
+        if self._imm is not None:
+            streams.append(list(self._imm.entries_from(start_key)))
+        version = self.versions.current
+        if self.read_lock:
+            self._mutex.release()
+
+        self._inflight_reads += 1
+        try:
+            for level in range(version.num_levels):
+                for file_set in self._scan_level_sets(version, level, start_key):
+                    collected: List[Entry] = []
+                    for meta in file_set:
+                        reader = yield from self.table_cache.find_table(
+                            meta.number, meta.container, meta.offset,
+                            meta.length, meter)
+                        part = yield from reader.iter_entries_from(
+                            start_key, meter, max_entries=count)
+                        collected.extend(part)
+                        if len(collected) >= count:
+                            break
+                    if collected:
+                        streams.append(collected)
+            results = merge_scan(streams, start_key, count, snapshot)
+            yield from meter.drain()
+            return results
+        finally:
+            self._inflight_reads -= 1
+            self._maybe_run_deferred_cleanup()
+
+    # ------------------------------------------------------------------
+    # background work
+    # ------------------------------------------------------------------
+
+    def _background_worker(self) -> Generator[Event, Any, None]:
+        try:
+            while not self._closed:
+                job = self._pick_job()
+                if job is None:
+                    waiter = self._bg_work.wait()
+                    yield waiter
+                    continue
+                kind, payload = job
+                try:
+                    if kind == "flush":
+                        yield from self._flush_memtable()
+                    else:
+                        yield from self._run_compaction(payload)
+                finally:
+                    if kind == "flush":
+                        self._flush_in_progress = False
+                    else:
+                        self._compactions_in_progress -= 1
+                        for meta in payload.inputs:
+                            self._busy_tables.discard(meta.number)
+                    self._bg_done.notify_all()
+                    self._bg_work.notify_all()
+        except Interrupt:
+            return  # kill(): die on the spot, state as-is
+
+    def _pick_job(self) -> Optional[Tuple[str, Any]]:
+        """Atomically claim the next unit of background work."""
+        if self._imm is not None and not self._flush_in_progress:
+            self._flush_in_progress = True
+            return ("flush", None)
+        compaction = self._pick_compaction()
+        if compaction is not None:
+            for meta in compaction.inputs:
+                self._busy_tables.add(meta.number)
+            self._compactions_in_progress += 1
+            return ("compact", compaction)
+        return None
+
+    def has_pending_work(self) -> bool:
+        if self._imm is not None or self._flush_in_progress:
+            return True
+        if self._compactions_in_progress:
+            return True
+        if self._file_to_compact is not None:
+            return True
+        _level, score = self.versions.pick_compaction_level()
+        return score >= 1.0
+
+    def wait_idle(self) -> Generator[Event, Any, None]:
+        """Block until no flush/compaction work remains (test helper)."""
+        while self.has_pending_work():
+            self._bg_work.notify_all()
+            waiter = self._bg_done.wait()
+            yield waiter
+
+    def flush_all(self) -> Generator[Event, Any, None]:
+        """Force the active MemTable to disk and quiesce (bench helper)."""
+        yield self._mutex.acquire()
+        try:
+            while self._imm is not None:
+                yield from self._stall("flush-all")
+            if len(self._memtable):
+                self._imm = self._memtable
+                self._imm_wal_name = self._wal_name(self._wal_number)
+                self._memtable = MemTable(seed=self.options.seed)
+                yield from self._new_wal()
+                self._bg_work.notify_all()
+        finally:
+            self._mutex.release()
+        yield from self.wait_idle()
+
+    # -- flush ------------------------------------------------------------
+
+    def _flush_memtable(self) -> Generator[Event, Any, None]:
+        """Write the immutable MemTable as level-0 table(s)."""
+        imm = self._imm
+        meter = self._bg_meter()
+        started = self.env.now
+        entries = collapse_versions(imm.entries(), drop_tombstones=False,
+                                    snapshots=self.live_snapshot_sequences())
+        sink = self._make_sink()
+        # Stock LevelDB writes the whole MemTable as ONE level-0 table
+        # (sstable_size governs compaction outputs only); BoLT cuts the
+        # flush into fine-grained logical SSTables inside one compaction
+        # file (§3.2) — same barrier count either way for BoLT's sink.
+        max_bytes = (self.options.sstable_size
+                     if self.options.use_compaction_file else None)
+        metas = yield from self._build_tables(entries, sink, meter,
+                                              max_table_bytes=max_bytes)
+        edit = VersionEdit()
+        edit.log_number = self._wal_number
+        for meta in metas:
+            edit.add_file(0, meta)
+        yield from self.versions.log_and_apply(edit, meter)
+        self._imm = None
+        self.stats.memtable_flushes += 1
+        self.stats.compaction_time += self.env.now - started
+        old_wal = self._imm_wal_name
+        self._imm_wal_name = None
+        if old_wal and self.fs.exists(old_wal):
+            yield from self.fs.unlink(old_wal)
+        self._maybe_schedule_more()
+
+    def _maybe_schedule_more(self) -> None:
+        if self.has_pending_work():
+            self._bg_work.notify_all()
+
+    # -- compaction picking -------------------------------------------------
+
+    def _pick_compaction(self) -> Optional[Compaction]:
+        version = self.versions.current
+        is_seek = False
+        if self._file_to_compact is not None:
+            level, meta = self._file_to_compact
+            if meta.number in self._busy_tables or not any(
+                    f.number == meta.number for f in version.files[level]):
+                self._file_to_compact = None
+                return self._pick_compaction()
+            self._file_to_compact = None
+            if level + 1 >= version.num_levels:
+                return None
+            victims = [meta]
+            is_seek = True
+        else:
+            level, score = self.versions.pick_compaction_level()
+            if score < 1.0 or level < 0 or level + 1 >= version.num_levels:
+                return None
+            victims = self._pick_victims(version, level)
+            if not victims:
+                return None
+        if level == 0:
+            lo, hi = key_range(victims)
+            victims = version.overlapping_files(0, lo, hi)
+        if any(v.number in self._busy_tables for v in victims):
+            return None
+        lo, hi = key_range(victims)
+        overlaps = version.overlapping_files(level + 1, lo, hi)
+        if any(o.number in self._busy_tables for o in overlaps):
+            return None
+        compaction = Compaction(level, victims, overlaps, is_seek)
+        if is_seek:
+            self.stats.seek_compactions += 1
+        return compaction
+
+    def _pick_victims(self, version: Version, level: int) -> List[FileMetaData]:
+        """Hook: victim selection strategy.
+
+        Stock LevelDB: round-robin after the per-level compact pointer,
+        one victim per compaction.
+        """
+        files = version.files[level]
+        if not files:
+            return []
+        pointer = self.versions.compact_pointers.get(level)
+        chosen = None
+        if pointer is not None:
+            for meta in files:
+                if meta.smallest > pointer and meta.number not in self._busy_tables:
+                    chosen = meta
+                    break
+        if chosen is None:
+            for meta in files:
+                if meta.number not in self._busy_tables:
+                    chosen = meta
+                    break
+        return [chosen] if chosen is not None else []
+
+    # -- compaction execution ----------------------------------------------
+
+    def _make_sink(self) -> OutputSink:
+        """Hook: output sink factory (BoLT overrides with a compaction
+        file, §3.1)."""
+        return PerTableFileSink(self.fs, self.dbname,
+                                ordered_only=self.options.use_barrierfs)
+
+    def _run_compaction(self, compaction: Compaction
+                        ) -> Generator[Event, Any, None]:
+        started = self.env.now
+        self.stats.compactions += 1
+        self.stats.group_victims += len(compaction.victims)
+        version = self.versions.current
+        meter = self._bg_meter()
+
+        # Settled / trivial-move classification (hook; stock engines only
+        # promote the classic single-victim trivial move).
+        settled, merge_victims = self._split_settled(compaction)
+        # With scattered (group/settled) victims, the combined key range
+        # may span next-level files that overlap no merge victim at all;
+        # those stay untouched.  Output tables are cut at their smallest
+        # keys so the level's disjointness survives.
+        merge_overlaps = [o for o in compaction.overlaps
+                          if any(o.overlaps(v.smallest, v.largest)
+                                 for v in merge_victims)]
+        untouched = [o for o in compaction.overlaps
+                     if o not in merge_overlaps]
+
+        edit = VersionEdit()
+        output_metas: List[FileMetaData] = []
+        if merge_victims:
+            inputs = merge_victims + merge_overlaps
+            streams: List[List[Entry]] = []
+            for meta in inputs:
+                reader = yield from self.table_cache.find_table(
+                    meta.number, meta.container, meta.offset, meta.length, meter)
+                entries = yield from reader.iter_entries(meter)
+                streams.append(entries)
+                self.stats.compaction_bytes_read += meta.length
+                meter.charge(meter.model.merge_per_record * len(entries))
+            drop_tombstones = self._is_base_level(
+                version, compaction.output_level,
+                *key_range(inputs)) if inputs else False
+            merged = collapse_versions(
+                merge_streams(streams), drop_tombstones,
+                snapshots=self.live_snapshot_sequences())
+            sink = self._make_sink()
+            cut_keys = sorted(o.smallest for o in untouched) or None
+            output_metas = yield from self._build_tables(merged, sink, meter,
+                                                         cut_keys=cut_keys)
+
+        # Verify settled victims still promote safely next to the outputs;
+        # unsafe ones fall back to staying at their level untouched.
+        promoted: List[FileMetaData] = []
+        fallback: List[FileMetaData] = []
+        for meta in settled:
+            safe = all(not meta.overlaps(o.smallest, o.largest)
+                       for o in output_metas + promoted)
+            (promoted if safe else fallback).append(meta)
+
+        for meta in compaction.victims:
+            if meta in fallback:
+                continue  # stays at its level, untouched
+            edit.delete_file(compaction.level, meta.number)
+        for meta in merge_overlaps:
+            edit.delete_file(compaction.output_level, meta.number)
+        for meta in output_metas:
+            edit.add_file(compaction.output_level, meta)
+        for meta in promoted:
+            edit.add_file(compaction.output_level, FileMetaData(
+                number=meta.number, container=meta.container,
+                offset=meta.offset, length=meta.length,
+                smallest=meta.smallest, largest=meta.largest,
+                num_entries=meta.num_entries))
+            self.stats.settled_promotions += 1
+        if compaction.victims and compaction.level > 0:
+            _lo, hi = key_range(compaction.victims)
+            edit.set_compact_pointer(compaction.level, hi)
+
+        yield from self.versions.log_and_apply(edit, meter)
+        yield from meter.drain()
+
+        discarded = list(merge_victims) + merge_overlaps
+        self._schedule_cleanup(discarded)
+        self.stats.compaction_time += self.env.now - started
+        self._maybe_schedule_more()
+
+    def _split_settled(self, compaction: Compaction
+                       ) -> Tuple[List[FileMetaData], List[FileMetaData]]:
+        """Hook: split victims into (settled/promoted, to-merge).
+
+        Base engines implement only LevelDB's trivial move: a single
+        victim with no next-level overlap moves without rewrite.
+        """
+        if (len(compaction.victims) == 1 and not compaction.overlaps
+                and not compaction.is_seek_compaction):
+            self.stats.trivial_moves += 1
+            return list(compaction.victims), []
+        return [], list(compaction.victims)
+
+    def _is_base_level(self, version: Version, output_level: int,
+                       smallest: bytes, largest: bytes) -> bool:
+        """True if no level deeper than ``output_level`` overlaps the
+        range — then tombstones can be dropped."""
+        for level in range(output_level + 1, version.num_levels):
+            if version.overlapping_files(level, smallest, largest):
+                return False
+        return True
+
+    def _build_tables(self, entries: Iterable[Entry], sink: OutputSink,
+                      meter: CpuMeter,
+                      max_table_bytes: Optional[int] = -1,
+                      cut_keys: Optional[List[bytes]] = None
+                      ) -> Generator[Event, Any, List[FileMetaData]]:
+        """Partition a sorted entry stream into size-bounded tables.
+
+        ``max_table_bytes``: table cut size (-1 = options.sstable_size,
+        None = never cut on size).  ``cut_keys``: additional sorted
+        boundary keys to cut at (used by the PebblesDB engine to align
+        outputs with guards, and by settled compaction to keep outputs
+        clear of promoted victims).
+        """
+        opts = self.options
+        if max_table_bytes == -1:
+            max_table_bytes = opts.sstable_size
+        metas: List[FileMetaData] = []
+        builder: Optional[SSTableBuilder] = None
+        number = 0
+        container = ""
+        cut_index = 0
+        for user_key, seq, value_type, value in entries:
+            if cut_keys is not None and builder is not None:
+                while cut_index < len(cut_keys) and cut_keys[cut_index] <= builder.current_user_key:
+                    cut_index += 1
+                if cut_index < len(cut_keys) and user_key >= cut_keys[cut_index]:
+                    metas.append(self._finish_builder(builder, number, container))
+                    builder = None
+            if (builder is not None and max_table_bytes is not None
+                    and builder.estimated_size >= max_table_bytes
+                    and user_key != builder.current_user_key):
+                metas.append(self._finish_builder(builder, number, container))
+                builder = None
+            if builder is None:
+                number = self.versions.new_file_number()
+                handle, container = yield from sink.next_handle(number)
+                builder = SSTableBuilder(handle, opts.table_format,
+                                         opts.bloom_bits_per_key, meter)
+            builder.add(user_key, seq, value_type, value)
+        if builder is not None and builder.num_entries:
+            metas.append(self._finish_builder(builder, number, container))
+        yield from sink.seal()
+        for meta in metas:
+            self.stats.compaction_bytes_written += meta.length
+        yield from meter.drain()
+        return metas
+
+    def _finish_builder(self, builder: SSTableBuilder, number: int,
+                        container: str) -> FileMetaData:
+        info = builder.finish()
+        return FileMetaData(
+            number=number, container=container, offset=info.base_offset,
+            length=info.length, smallest=info.smallest, largest=info.largest,
+            num_entries=info.num_entries,
+            allowed_seeks=max(100, info.length // self.options.seek_compaction_divisor))
+
+    # -- obsolete-table cleanup -------------------------------------------
+
+    def _schedule_cleanup(self, metas: List[FileMetaData]) -> None:
+        for meta in metas:
+            self.table_cache.evict(meta.number)
+        self._deferred_cleanup.extend(metas)
+        self._maybe_run_deferred_cleanup()
+
+    def _maybe_run_deferred_cleanup(self) -> None:
+        if self._inflight_reads or not self._deferred_cleanup:
+            return
+        batch, self._deferred_cleanup = self._deferred_cleanup, []
+        self.env.process(self._cleanup_tables(batch),
+                         name=f"{self.dbname}-cleanup")
+
+    def _cleanup_tables(self, metas: List[FileMetaData]
+                        ) -> Generator[Event, Any, None]:
+        """Hook: reclaim dead tables' space.
+
+        Stock engines unlink the per-table file; BoLT punches holes in
+        compaction files instead (§3.2).
+        """
+        for meta in metas:
+            if self.fs.exists(meta.container):
+                yield from self.fs.unlink(meta.container)
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    def _recover(self) -> Generator[Event, Any, None]:
+        yield from self.versions.recover()
+        # Replay WALs at/after the recorded log number, oldest first.
+        logs: List[Tuple[int, str]] = []
+        for name in self.fs.listdir(f"{self.dbname}/"):
+            if name.endswith(".log"):
+                number = int(name.rsplit("/", 1)[-1].split(".")[0])
+                if number >= self.versions.log_number:
+                    logs.append((number, name))
+        logs.sort()
+        max_seq = self.versions.last_sequence
+        for _number, name in logs:
+            handle = yield from self.fs.open(name)
+            data = yield from handle.read(0, handle.size, sequential=True)
+            for record in read_log_records(data):
+                first_seq, batch = WriteBatch.decode(record)
+                seq = first_seq
+                for value_type, key, value in batch.ops:
+                    self._memtable.add(seq, value_type, key, value)
+                    seq += 1
+                max_seq = max(max_seq, seq - 1)
+                if (self._memtable.approximate_memory_usage
+                        > self.options.memtable_size):
+                    self._imm = self._memtable
+                    self._imm_wal_name = None
+                    self._memtable = MemTable(seed=self.options.seed)
+                    self._flush_in_progress = True
+                    try:
+                        yield from self._flush_memtable()
+                    finally:
+                        self._flush_in_progress = False
+        self.versions.last_sequence = max_seq
+        yield from self._new_wal()
+        if len(self._memtable):
+            # Persist replayed residue promptly, as LevelDB does.
+            self._imm = self._memtable
+            self._imm_wal_name = None
+            self._memtable = MemTable(seed=self.options.seed)
+            self._flush_in_progress = True
+            try:
+                yield from self._flush_memtable()
+            finally:
+                self._flush_in_progress = False
+        yield from self._delete_obsolete_files()
+
+    def _delete_obsolete_files(self) -> Generator[Event, Any, None]:
+        """Remove files not referenced by the recovered version."""
+        live_containers = {meta.container for meta in
+                           self.versions.current.live_numbers().values()}
+        keep_suffixes = {self._wal_name(self._wal_number),
+                         f"{self.dbname}/CURRENT"}
+        manifest = f"{self.dbname}/MANIFEST-{self.versions.manifest_file_number:06d}"
+        keep_suffixes.add(manifest)
+        for name in list(self.fs.listdir(f"{self.dbname}/")):
+            if name in keep_suffixes or name in live_containers:
+                continue
+            if name.endswith(".ldb") or name.endswith(".cf") or name.endswith(".log"):
+                yield from self.fs.unlink(name)
+            elif name.startswith(f"{self.dbname}/MANIFEST-") and name != manifest:
+                yield from self.fs.unlink(name)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def level_table_counts(self) -> List[int]:
+        return [len(level) for level in self.versions.current.files]
+
+    def level_byte_sizes(self) -> List[int]:
+        version = self.versions.current
+        return [version.level_bytes(level) for level in range(version.num_levels)]
+
+    def describe(self) -> Dict[str, Any]:
+        """A structured status snapshot for examples and debugging."""
+        return {
+            "engine": self.name,
+            "levels": self.level_table_counts(),
+            "level_bytes": self.level_byte_sizes(),
+            "memtable_bytes": self._memtable.approximate_memory_usage,
+            "last_sequence": self.versions.last_sequence,
+            "stats": vars(self.stats.snapshot()),
+        }

@@ -1,0 +1,99 @@
+"""Merging helpers for compaction and range scans.
+
+Entry streams are lists of ``(user_key, seq, value_type, value)`` in
+internal-key order.  :func:`merge_streams` k-way merges them with a
+newest-first tie-break on user keys, and :func:`collapse_versions`
+keeps only the newest visible version of each user key, optionally
+dropping tombstones (safe only at the bottom of the tree).
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from .codec import MAX_SEQUENCE, VALUE_TYPE_DELETION
+
+__all__ = ["merge_streams", "collapse_versions", "merge_scan"]
+
+Entry = Tuple[bytes, int, int, bytes]
+
+
+def _internal_order(entry: Entry) -> Tuple[bytes, int]:
+    user_key, seq, _vt, _v = entry
+    return (user_key, MAX_SEQUENCE - seq)
+
+
+def merge_streams(streams: Iterable[Iterable[Entry]]) -> Iterator[Entry]:
+    """K-way merge of sorted entry streams in internal-key order."""
+    return heapq.merge(*streams, key=_internal_order)
+
+
+def collapse_versions(entries: Iterable[Entry], drop_tombstones: bool,
+                      snapshots: Sequence[int] = ()) -> Iterator[Entry]:
+    """Drop shadowed versions of each user key.
+
+    Without live snapshots, only the newest version of each key
+    survives.  With ``snapshots`` (ascending sequence numbers of live
+    read snapshots), the newest version within each snapshot interval
+    is retained, so a reader pinned at sequence ``s`` still sees the
+    value that was newest at ``s`` — LevelDB's compaction visibility
+    rule.
+
+    ``drop_tombstones`` must only be True when no deeper level can hold
+    an older version of these keys (LevelDB's IsBaseLevelForKey rule);
+    a tombstone is additionally retained while any live snapshot is
+    older than it (the deletion must keep shadowing what that snapshot
+    can still see).
+    """
+    snapshots = sorted(snapshots)
+    oldest_snapshot = snapshots[0] if snapshots else None
+
+    def bucket(seq: int) -> int:
+        # Two versions in the same bucket are separated by no snapshot,
+        # so the older one is invisible to every reader.
+        return bisect.bisect_left(snapshots, seq)
+
+    last_key: bytes = None  # type: ignore[assignment]
+    last_bucket = -1
+    first = True
+    for entry in entries:
+        user_key, seq, value_type, _value = entry
+        if not first and user_key == last_key:
+            if not snapshots or bucket(seq) == last_bucket:
+                continue  # shadowed within the same snapshot interval
+        first = False
+        last_key = user_key
+        last_bucket = bucket(seq)
+        if (drop_tombstones and value_type == VALUE_TYPE_DELETION
+                and (oldest_snapshot is None or seq <= oldest_snapshot)):
+            continue
+        yield entry
+
+
+def merge_scan(streams: Iterable[Iterable[Entry]], start_key: bytes,
+               count: int, snapshot_seq: int) -> List[Tuple[bytes, bytes]]:
+    """Range scan: first ``count`` live user keys at/after ``start_key``.
+
+    Entries newer than ``snapshot_seq`` are invisible; tombstones hide
+    older versions of their key.
+    """
+    results: List[Tuple[bytes, bytes]] = []
+    if count <= 0:
+        return results
+    last_key: bytes = None  # type: ignore[assignment]
+    first = True
+    for user_key, seq, value_type, value in merge_streams(streams):
+        if user_key < start_key or seq > snapshot_seq:
+            continue
+        if not first and user_key == last_key:
+            continue
+        first = False
+        last_key = user_key
+        if value_type == VALUE_TYPE_DELETION:
+            continue
+        results.append((user_key, value))
+        if len(results) >= count:
+            break
+    return results

@@ -1,0 +1,311 @@
+"""MANIFEST: the transactional log of table-tree changes (§2.4).
+
+Each compaction appends one :class:`VersionEdit` record and fsyncs — the
+MANIFEST is the *commit mark*: new tables are flushed first, then the
+edit validates them atomically.  Lose the edit and the compaction never
+happened; lose table pages after the edit was durable and recovery
+detects corruption via table CRCs.
+
+``CURRENT`` names the live manifest file, updated by the classic
+write-temp / fsync / rename dance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..sim import CpuMeter, Environment, Event
+from ..storage import FileHandle, SimFS
+from .codec import (
+    CorruptionError,
+    decode_fixed64,
+    decode_length_prefixed,
+    decode_varint,
+    encode_fixed64,
+    encode_length_prefixed,
+    encode_varint,
+)
+from .options import Options
+from .version import FileMetaData, Version
+from .wal import LogWriter, read_log_records
+
+__all__ = ["VersionEdit", "VersionSet"]
+
+_TAG_LOG_NUMBER = 1
+_TAG_NEXT_FILE = 2
+_TAG_LAST_SEQUENCE = 3
+_TAG_COMPACT_POINTER = 4
+_TAG_DELETED_FILE = 5
+_TAG_NEW_FILE = 6
+_TAG_GUARD = 7  # used by the PebblesDB engine
+
+
+class VersionEdit:
+    """A delta applied to the current version and logged to MANIFEST."""
+
+    def __init__(self) -> None:
+        self.log_number: Optional[int] = None
+        self.next_file_number: Optional[int] = None
+        self.last_sequence: Optional[int] = None
+        self.compact_pointers: List[Tuple[int, bytes]] = []
+        self.deleted_files: List[Tuple[int, int]] = []
+        self.new_files: List[Tuple[int, FileMetaData]] = []
+        self.new_guards: List[Tuple[int, bytes]] = []
+
+    def delete_file(self, level: int, number: int) -> None:
+        self.deleted_files.append((level, number))
+
+    def add_file(self, level: int, meta: FileMetaData) -> None:
+        self.new_files.append((level, meta))
+
+    def add_guard(self, level: int, key: bytes) -> None:
+        self.new_guards.append((level, key))
+
+    def set_compact_pointer(self, level: int, key: bytes) -> None:
+        self.compact_pointers.append((level, key))
+
+    # -- codec ---------------------------------------------------------------
+
+    def encode(self) -> bytes:
+        out = bytearray()
+        if self.log_number is not None:
+            out.extend(encode_varint(_TAG_LOG_NUMBER))
+            out.extend(encode_varint(self.log_number))
+        if self.next_file_number is not None:
+            out.extend(encode_varint(_TAG_NEXT_FILE))
+            out.extend(encode_varint(self.next_file_number))
+        if self.last_sequence is not None:
+            out.extend(encode_varint(_TAG_LAST_SEQUENCE))
+            out.extend(encode_fixed64(self.last_sequence))
+        for level, key in self.compact_pointers:
+            out.extend(encode_varint(_TAG_COMPACT_POINTER))
+            out.extend(encode_varint(level))
+            out.extend(encode_length_prefixed(key))
+        for level, number in self.deleted_files:
+            out.extend(encode_varint(_TAG_DELETED_FILE))
+            out.extend(encode_varint(level))
+            out.extend(encode_varint(number))
+        for level, meta in self.new_files:
+            out.extend(encode_varint(_TAG_NEW_FILE))
+            out.extend(encode_varint(level))
+            out.extend(encode_varint(meta.number))
+            out.extend(encode_length_prefixed(meta.container.encode()))
+            out.extend(encode_varint(meta.offset))
+            out.extend(encode_varint(meta.length))
+            out.extend(encode_varint(meta.num_entries))
+            out.extend(encode_length_prefixed(meta.smallest))
+            out.extend(encode_length_prefixed(meta.largest))
+        for level, key in self.new_guards:
+            out.extend(encode_varint(_TAG_GUARD))
+            out.extend(encode_varint(level))
+            out.extend(encode_length_prefixed(key))
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "VersionEdit":
+        edit = cls()
+        pos = 0
+        while pos < len(data):
+            tag, pos = decode_varint(data, pos)
+            if tag == _TAG_LOG_NUMBER:
+                edit.log_number, pos = decode_varint(data, pos)
+            elif tag == _TAG_NEXT_FILE:
+                edit.next_file_number, pos = decode_varint(data, pos)
+            elif tag == _TAG_LAST_SEQUENCE:
+                edit.last_sequence = decode_fixed64(data, pos)
+                pos += 8
+            elif tag == _TAG_COMPACT_POINTER:
+                level, pos = decode_varint(data, pos)
+                key, pos = decode_length_prefixed(data, pos)
+                edit.compact_pointers.append((level, key))
+            elif tag == _TAG_DELETED_FILE:
+                level, pos = decode_varint(data, pos)
+                number, pos = decode_varint(data, pos)
+                edit.deleted_files.append((level, number))
+            elif tag == _TAG_NEW_FILE:
+                level, pos = decode_varint(data, pos)
+                number, pos = decode_varint(data, pos)
+                container, pos = decode_length_prefixed(data, pos)
+                offset, pos = decode_varint(data, pos)
+                length, pos = decode_varint(data, pos)
+                num_entries, pos = decode_varint(data, pos)
+                smallest, pos = decode_length_prefixed(data, pos)
+                largest, pos = decode_length_prefixed(data, pos)
+                edit.new_files.append((level, FileMetaData(
+                    number=number, container=container.decode(), offset=offset,
+                    length=length, smallest=smallest, largest=largest,
+                    num_entries=num_entries)))
+            elif tag == _TAG_GUARD:
+                level, pos = decode_varint(data, pos)
+                key, pos = decode_length_prefixed(data, pos)
+                edit.new_guards.append((level, key))
+            else:
+                raise CorruptionError(f"unknown VersionEdit tag {tag}")
+        return edit
+
+
+class VersionSet:
+    """Owns the current :class:`Version` and the MANIFEST machinery."""
+
+    def __init__(self, env: Environment, fs: SimFS, options: Options, dbname: str):
+        self.env = env
+        self.fs = fs
+        self.options = options
+        self.dbname = dbname
+        self.current = Version(options.max_levels)
+        self.last_sequence = 0
+        self.next_file_number = 2  # 1 is reserved for the first manifest
+        self.log_number = 0
+        self.compact_pointers: Dict[int, bytes] = {}
+        #: Guard keys per level (PebblesDB engine only).
+        self.guards: Dict[int, List[bytes]] = {}
+        self.manifest_file_number = 0
+        self._manifest_handle: Optional[FileHandle] = None
+        self._manifest_writer: Optional[LogWriter] = None
+        self.manifest_writes = 0
+
+    # -- names ------------------------------------------------------------
+
+    def _manifest_name(self, number: int) -> str:
+        return f"{self.dbname}/MANIFEST-{number:06d}"
+
+    def _current_name(self) -> str:
+        return f"{self.dbname}/CURRENT"
+
+    def new_file_number(self) -> int:
+        number = self.next_file_number
+        self.next_file_number += 1
+        return number
+
+    # -- scoring (used by compaction pickers) --------------------------------
+
+    def l0_unit_count(self) -> int:
+        """Level-0 occupancy in governor units.
+
+        Stock engines count level-0 *files*.  BoLT stores one flush as
+        many logical SSTables inside one compaction file, so its
+        governors and the L0 compaction trigger count distinct
+        compaction files (flush units) — otherwise a single flush would
+        instantly trip L0SlowDown/L0Stop.
+        """
+        files = self.current.files[0]
+        if self.options.use_compaction_file:
+            return len({meta.container for meta in files})
+        return len(files)
+
+    def level_score(self, level: int) -> float:
+        """> 1.0 means the level needs compaction (LevelDB's scoring)."""
+        if level == 0:
+            return self.l0_unit_count() / self.options.l0_compaction_trigger
+        return self.current.level_bytes(level) / self.options.max_bytes_for_level(level)
+
+    def pick_compaction_level(self) -> Tuple[int, float]:
+        """The level with the highest score, searching top-down."""
+        best_level, best_score = -1, 0.0
+        for level in range(self.current.num_levels - 1):
+            score = self.level_score(level)
+            if score > best_score:
+                best_level, best_score = level, score
+        return best_level, best_score
+
+    # -- edit application ------------------------------------------------------
+
+    def _apply(self, edit: VersionEdit) -> None:
+        if edit.log_number is not None:
+            self.log_number = edit.log_number
+        if edit.next_file_number is not None:
+            self.next_file_number = max(self.next_file_number,
+                                        edit.next_file_number)
+        if edit.last_sequence is not None:
+            self.last_sequence = max(self.last_sequence, edit.last_sequence)
+        for level, key in edit.compact_pointers:
+            self.compact_pointers[level] = key
+        version = self.current.clone()
+        for level, number in edit.deleted_files:
+            version.remove_file(level, number)
+        for level, meta in edit.new_files:
+            version.add_file(level, meta)
+            # Never reissue a number observed in the log (recovery path).
+            if meta.number >= self.next_file_number:
+                self.next_file_number = meta.number + 1
+        for level, key in edit.new_guards:
+            keys = self.guards.setdefault(level, [])
+            if key not in keys:
+                keys.append(key)
+                keys.sort()
+        self.current = version
+
+    def log_and_apply(self, edit: VersionEdit,
+                      meter: Optional[CpuMeter] = None
+                      ) -> Generator[Event, Any, None]:
+        """Append the edit to MANIFEST, fsync (the commit barrier), apply.
+
+        This is the second of the two barriers a BoLT compaction pays
+        (§1: "one for the compaction file and the other for MANIFEST").
+        """
+        edit.next_file_number = self.next_file_number
+        edit.last_sequence = self.last_sequence
+        edit.log_number = self.log_number
+        self._manifest_writer.append(edit.encode(), meter)
+        yield from self._manifest_handle.fsync()
+        self.manifest_writes += 1
+        self._apply(edit)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def create_new(self) -> Generator[Event, Any, None]:
+        """Initialize a brand-new database directory."""
+        self.manifest_file_number = 1
+        yield from self._start_manifest(write_snapshot=False)
+        yield from self._write_current()
+
+    def recover(self) -> Generator[Event, Any, None]:
+        """Rebuild state from CURRENT + MANIFEST, then roll the manifest.
+
+        Rolling (writing a fresh manifest holding a snapshot of the
+        recovered state) matches LevelDB's recovery and keeps the log
+        bounded.
+        """
+        current_handle = yield from self.fs.open(self._current_name())
+        raw = yield from current_handle.read(0, 1 << 16)
+        manifest_name = raw.decode().strip()
+        manifest_handle = yield from self.fs.open(f"{self.dbname}/{manifest_name}")
+        data = yield from manifest_handle.read(
+            0, manifest_handle.size, sequential=True)
+        for record in read_log_records(data):
+            self._apply(VersionEdit.decode(record))
+        # Roll to a fresh manifest with a snapshot of the current state.
+        self.manifest_file_number = self.new_file_number()
+        yield from self._start_manifest(write_snapshot=True)
+        yield from self._write_current()
+        old = f"{self.dbname}/{manifest_name}"
+        if self.fs.exists(old):
+            yield from self.fs.unlink(old)
+
+    def _start_manifest(self, write_snapshot: bool) -> Generator[Event, Any, None]:
+        name = self._manifest_name(self.manifest_file_number)
+        self._manifest_handle = yield from self.fs.create(name)
+        self._manifest_writer = LogWriter(self._manifest_handle)
+        if write_snapshot:
+            snapshot = VersionEdit()
+            snapshot.log_number = self.log_number
+            snapshot.next_file_number = self.next_file_number
+            snapshot.last_sequence = self.last_sequence
+            for level, key in self.compact_pointers.items():
+                snapshot.set_compact_pointer(level, key)
+            for level in range(self.current.num_levels):
+                for meta in self.current.files[level]:
+                    snapshot.add_file(level, meta)
+            for level, keys in self.guards.items():
+                for key in keys:
+                    snapshot.add_guard(level, key)
+            self._manifest_writer.append(snapshot.encode())
+        yield from self._manifest_handle.fsync()
+
+    def _write_current(self) -> Generator[Event, Any, None]:
+        """Point CURRENT at the live manifest: temp + fsync + rename."""
+        tmp_name = f"{self.dbname}/CURRENT.tmp"
+        tmp = yield from self.fs.create(tmp_name)
+        tmp.append(f"MANIFEST-{self.manifest_file_number:06d}".encode())
+        yield from tmp.fsync()
+        yield from self.fs.rename(tmp_name, self._current_name())

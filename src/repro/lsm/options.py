@@ -1,0 +1,160 @@
+"""Engine configuration.
+
+Every knob the paper varies — SSTable size (Fig 4, 6), group compaction
+size (Fig 11), governors (§2.3), feature toggles for the BoLT ablation
+(+LS/+GC/+STL/+FC, Fig 12) — is a field of :class:`Options`, and
+:meth:`Options.scaled` shrinks all byte-denominated fields together so
+experiments keep the paper's ratios at laptop scale (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..sim import CostModel
+
+__all__ = ["TableFormat", "LEVELDB_FORMAT", "ROCKSDB_FORMAT", "Options"]
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+@dataclass(frozen=True)
+class TableFormat:
+    """On-disk SSTable encoding parameters.
+
+    ``per_record_overhead`` captures the paper's §4.3.3 observation:
+    LevelDB's format spends ~100 extra bytes per record while RocksDB
+    spends ~24, which is why RocksDB writes far fewer bytes for 100-byte
+    records (58% difference) but nearly the same for 1 KB records (7%).
+    """
+
+    name: str = "leveldb"
+    #: Fixed on-disk overhead per record (headers, padding, trailers).
+    per_record_overhead: int = 100
+    #: Target uncompressed size of one data block.
+    block_size: int = 4 * KB
+    #: Bytes per index entry beyond the key itself.
+    index_entry_overhead: int = 24
+
+
+LEVELDB_FORMAT = TableFormat(name="leveldb", per_record_overhead=100)
+ROCKSDB_FORMAT = TableFormat(name="rocksdb", per_record_overhead=24)
+
+# Byte-denominated Options fields shrunk together by Options.scaled().
+_SCALED_FIELDS = (
+    "memtable_size",
+    "sstable_size",
+    "level1_max_bytes",
+    "group_compaction_bytes",
+    "block_cache_bytes",
+)
+
+
+@dataclass
+class Options:
+    """Configuration for an LSM engine instance.
+
+    Defaults mirror stock LevelDB v1.20 plus the paper's §4.1 choices
+    (bloom filters at 10 bits/key, compression off, 64 MB MemTable in
+    the paper's full-scale runs).
+    """
+
+    # -- structure sizes ---------------------------------------------------
+    memtable_size: int = 4 * MB
+    sstable_size: int = 2 * MB
+    level1_max_bytes: int = 10 * MB
+    level_size_multiplier: int = 10
+    max_levels: int = 7
+
+    # -- write-stall governors (§2.3) ---------------------------------------
+    l0_compaction_trigger: int = 4
+    l0_slowdown_trigger: int = 8
+    l0_stop_trigger: int = 12
+    slowdown_sleep: float = 1.0e-3
+    enable_l0_slowdown: bool = True
+    enable_l0_stop: bool = True
+
+    # -- compaction ---------------------------------------------------------
+    enable_seek_compaction: bool = True
+    #: Seek-compaction budget divisor: allowed_seeks = size / this.
+    seek_compaction_divisor: int = 16 * KB
+    num_compaction_threads: int = 1
+
+    # -- table format & caches ----------------------------------------------
+    table_format: TableFormat = field(default_factory=lambda: LEVELDB_FORMAT)
+    bloom_bits_per_key: int = 10
+    #: TableCache capacity, counted in tables (max_open_files), as the
+    #: paper stresses in §2.6/§4.3.1.
+    max_open_files: int = 1000
+    block_cache_bytes: int = 8 * MB
+
+    # -- write-ahead log ------------------------------------------------------
+    #: Sync the WAL on every write (YCSB-style runs leave this off).
+    wal_sync: bool = False
+    #: Run on BarrierFS (paper §5): compaction outputs are made *ordered*
+    #: with cheap fdatabarrier() calls instead of per-file fsync(); the
+    #: MANIFEST commit remains a real fsync (the durability point), whose
+    #: FLUSH also makes the ordered data durable.
+    use_barrierfs: bool = False
+
+    # -- BoLT features (paper §3) ---------------------------------------------
+    #: +LS: store logical SSTables inside one compaction file per
+    #: compaction; ``sstable_size`` then means the *logical* SSTable size.
+    use_compaction_file: bool = False
+    #: +GC: total victim bytes picked per compaction (0 disables group
+    #: compaction: one victim table per compaction, as stock LevelDB).
+    group_compaction_bytes: int = 0
+    #: +STL: promote non-overlapping victims via a MANIFEST-only level
+    #: change instead of rewriting them.
+    enable_settled_compaction: bool = False
+    #: +FC: cache file descriptors per compaction file.
+    enable_fd_cache: bool = False
+    fd_cache_size: int = 1000
+
+    # -- misc --------------------------------------------------------------------
+    cost_model: CostModel = field(default_factory=CostModel)
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.memtable_size <= 0 or self.sstable_size <= 0:
+            raise ValueError("memtable_size and sstable_size must be positive")
+        if self.l0_slowdown_trigger > self.l0_stop_trigger:
+            raise ValueError("l0_slowdown_trigger must be <= l0_stop_trigger")
+        if self.enable_l0_stop and self.l0_stop_trigger < self.l0_compaction_trigger:
+            # A writer blocked by L0Stop needs compaction work to exist,
+            # which requires the compaction trigger to fire first.
+            raise ValueError(
+                "l0_stop_trigger must be >= l0_compaction_trigger")
+        if self.max_levels < 2:
+            raise ValueError("need at least two levels")
+        if self.level_size_multiplier < 2:
+            raise ValueError("level_size_multiplier must be >= 2")
+
+    def max_bytes_for_level(self, level: int) -> float:
+        """Size limit of ``level`` (level 0 is governed by file count)."""
+        if level <= 0:
+            return float("inf")
+        return self.level1_max_bytes * (self.level_size_multiplier ** (level - 1))
+
+    def scaled(self, factor: int) -> "Options":
+        """A copy with all byte-denominated sizes divided by ``factor``.
+
+        Used to shrink the paper's 50–100 GB experiments to laptop scale
+        while preserving every structural ratio; block size is kept at
+        4 KB because the page-cache granularity does not scale.
+        """
+        if factor < 1:
+            raise ValueError("scale factor must be >= 1")
+        updates = {}
+        for name in _SCALED_FIELDS:
+            value = getattr(self, name)
+            if value:
+                updates[name] = max(1, value // factor)
+        # The 1 ms L0SlowDown sleep waits for compaction progress, which
+        # at 1/factor structure sizes completes factor-times sooner.
+        updates["slowdown_sleep"] = self.slowdown_sleep / factor
+        return replace(self, **updates)
+
+    def copy(self, **updates) -> "Options":
+        return replace(self, **updates)

@@ -1,0 +1,110 @@
+"""A probabilistic skip list, the MemTable's ordered index.
+
+Mirrors LevelDB's ``SkipList`` (§2.1 of the paper: "the MemTable is
+implemented as a SkipList, while an SSTable is a sorted array").  Keys
+are arbitrary comparable objects; the MemTable stores internal-key
+tuples so that multiple versions of one user key coexist.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator, List, Optional, Tuple
+
+__all__ = ["SkipList"]
+
+_MAX_HEIGHT = 12
+_BRANCHING = 4
+
+
+class _Node:
+    __slots__ = ("key", "value", "next")
+
+    def __init__(self, key: Any, value: Any, height: int):
+        self.key = key
+        self.value = value
+        self.next: List[Optional["_Node"]] = [None] * height
+
+
+class SkipList:
+    """Sorted map with O(log n) insert/lookup and sorted iteration.
+
+    Duplicate keys are rejected — the MemTable guarantees uniqueness by
+    including the sequence number in the key.
+    """
+
+    def __init__(self, seed: Optional[int] = None):
+        self._head = _Node(None, None, _MAX_HEIGHT)
+        self._height = 1
+        self._rng = random.Random(seed)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _random_height(self) -> int:
+        height = 1
+        while height < _MAX_HEIGHT and self._rng.randrange(_BRANCHING) == 0:
+            height += 1
+        return height
+
+    def _find_greater_or_equal(self, key: Any,
+                               prev: Optional[List[_Node]] = None) -> Optional[_Node]:
+        node = self._head
+        level = self._height - 1
+        while True:
+            nxt = node.next[level]
+            if nxt is not None and nxt.key < key:
+                node = nxt
+            else:
+                if prev is not None:
+                    prev[level] = node
+                if level == 0:
+                    return nxt
+                level -= 1
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert ``key`` -> ``value``; raises on duplicate key."""
+        prev: List[_Node] = [self._head] * _MAX_HEIGHT
+        node = self._find_greater_or_equal(key, prev)
+        if node is not None and node.key == key:
+            raise KeyError(f"duplicate key: {key!r}")
+        height = self._random_height()
+        if height > self._height:
+            for level in range(self._height, height):
+                prev[level] = self._head
+            self._height = height
+        new_node = _Node(key, value, height)
+        for level in range(height):
+            new_node.next[level] = prev[level].next[level]
+            prev[level].next[level] = new_node
+        self._size += 1
+
+    def seek(self, key: Any) -> Optional[Tuple[Any, Any]]:
+        """First entry with ``entry_key >= key``, or None."""
+        node = self._find_greater_or_equal(key)
+        return (node.key, node.value) if node is not None else None
+
+    def get(self, key: Any) -> Optional[Any]:
+        """Exact-match lookup."""
+        node = self._find_greater_or_equal(key)
+        if node is not None and node.key == key:
+            return node.value
+        return None
+
+    def __contains__(self, key: Any) -> bool:
+        node = self._find_greater_or_equal(key)
+        return node is not None and node.key == key
+
+    def __iter__(self) -> Iterator[Tuple[Any, Any]]:
+        node = self._head.next[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.next[0]
+
+    def iter_from(self, key: Any) -> Iterator[Tuple[Any, Any]]:
+        """Iterate entries with ``entry_key >= key`` in sorted order."""
+        node = self._find_greater_or_equal(key)
+        while node is not None:
+            yield node.key, node.value
+            node = node.next[0]

@@ -1,0 +1,428 @@
+"""SSTable builder and reader.
+
+An SSTable is a sorted array of versioned records organized as data
+blocks, followed by an index block (last key of each data block), a
+bloom filter, and a fixed-size footer — the layout of Fig 5 in the
+paper.  All section offsets in the footer are *relative to the table's
+base offset*, which is what lets BoLT store many logical SSTables inside
+one compaction file (§3.2): a logical SSTable is simply a table whose
+base offset is nonzero.
+
+Every block carries a CRC so that crash tests detect pages lost by an
+unsynced write, and every structure is real bytes in SimFS.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional, Tuple
+
+from ..sim import CpuMeter, Event
+from ..storage import FileHandle
+from .codec import (
+    CorruptionError,
+    VALUE_TYPE_DELETION,
+    crc32,
+    decode_fixed32,
+    decode_fixed64,
+    decode_varint,
+    encode_fixed32,
+    encode_fixed64,
+    encode_varint,
+)
+from .bloom import BloomFilter
+from .memtable import DELETED, FOUND, NOT_FOUND
+from .options import TableFormat
+
+__all__ = ["SSTableBuilder", "SSTableReader", "TableInfo", "DataBlock", "FOOTER_SIZE"]
+
+_MAGIC = 0xB0171E5B0171E5B0 & 0xFFFFFFFFFFFFFFFF
+FOOTER_SIZE = 8 * 6 + 4
+
+#: (user_key, sequence, value_type, value)
+Entry = Tuple[bytes, int, int, bytes]
+
+
+@dataclass(frozen=True)
+class TableInfo:
+    """What a finished build reports; feeds FileMetaData."""
+
+    base_offset: int
+    length: int
+    num_entries: int
+    smallest: bytes
+    largest: bytes
+    index_size: int
+    bloom_size: int
+
+
+def _encode_entry(fmt: TableFormat, user_key: bytes, seq: int,
+                  value_type: int, value: bytes) -> bytes:
+    header = (encode_varint(len(user_key)) + encode_varint(len(value))
+              + bytes([value_type]) + encode_fixed64(seq))
+    pad = fmt.per_record_overhead - len(header)
+    if pad < 0:
+        pad = 0
+    return header + user_key + value + b"\x00" * pad
+
+
+def _decode_entries(fmt: TableFormat, data: bytes) -> List[Entry]:
+    entries: List[Entry] = []
+    pos = 0
+    end = len(data)
+    while pos < end:
+        start = pos
+        klen, pos = decode_varint(data, pos)
+        vlen, pos = decode_varint(data, pos)
+        if pos >= end:
+            raise CorruptionError("truncated entry header")
+        value_type = data[pos]
+        pos += 1
+        seq = decode_fixed64(data, pos)
+        pos += 8
+        header_len = pos - start
+        key = bytes(data[pos:pos + klen])
+        pos += klen
+        value = bytes(data[pos:pos + vlen])
+        pos += vlen
+        pad = fmt.per_record_overhead - header_len
+        if pad > 0:
+            pos += pad
+        if pos > end:
+            raise CorruptionError("truncated entry body")
+        entries.append((key, seq, value_type, value))
+    return entries
+
+
+class DataBlock:
+    """A decoded data block: entries plus a parallel key array for bisect."""
+
+    __slots__ = ("entries", "keys", "size_bytes")
+
+    def __init__(self, entries: List[Entry], size_bytes: int):
+        self.entries = entries
+        self.keys = [e[0] for e in entries]
+        self.size_bytes = size_bytes
+
+    @classmethod
+    def decode(cls, fmt: TableFormat, raw: bytes) -> "DataBlock":
+        """Parse and CRC-check an encoded block."""
+        if len(raw) < 8:
+            raise CorruptionError("block too short")
+        payload, trailer = raw[:-8], raw[-8:]
+        count = decode_fixed32(trailer, 0)
+        stored_crc = decode_fixed32(trailer, 4)
+        if crc32(payload) != stored_crc:
+            raise CorruptionError("block checksum mismatch")
+        entries = _decode_entries(fmt, payload)
+        if len(entries) != count:
+            raise CorruptionError("block entry count mismatch")
+        return cls(entries, len(raw))
+
+    def lookup(self, user_key: bytes, snapshot_seq: int) -> Tuple[str, Optional[bytes]]:
+        """Newest visible version of ``user_key`` within this block."""
+        idx = bisect.bisect_left(self.keys, user_key)
+        while idx < len(self.entries) and self.keys[idx] == user_key:
+            _key, seq, value_type, value = self.entries[idx]
+            if seq <= snapshot_seq:
+                if value_type == VALUE_TYPE_DELETION:
+                    return (DELETED, None)
+                return (FOUND, value)
+            idx += 1
+        return (NOT_FOUND, None)
+
+
+def _encode_block(payload: bytes, count: int) -> bytes:
+    return payload + encode_fixed32(count) + encode_fixed32(crc32(payload))
+
+
+class SSTableBuilder:
+    """Streams sorted entries into ``handle`` starting at its current end.
+
+    The builder only buffers one data block at a time; completed blocks
+    are appended immediately (buffered in the page cache — durability is
+    the caller's fsync).  Entries must arrive in internal-key order.
+    """
+
+    def __init__(self, handle: FileHandle, fmt: TableFormat,
+                 bloom_bits_per_key: int = 10,
+                 meter: Optional[CpuMeter] = None,
+                 expected_keys: int = 1024):
+        self.handle = handle
+        self.fmt = fmt
+        self.meter = meter
+        self.base_offset = handle.size
+        self._block = bytearray()
+        self._block_count = 0
+        self._index: List[Tuple[bytes, int, int]] = []  # (last_key, off, len)
+        self._written = 0
+        self._num_entries = 0
+        self._smallest: Optional[bytes] = None
+        self._largest: Optional[bytes] = None
+        self._last_key: Optional[bytes] = None
+        self._keys: List[bytes] = []
+        self._bloom_bits = bloom_bits_per_key
+        self.finished = False
+
+    @property
+    def num_entries(self) -> int:
+        return self._num_entries
+
+    @property
+    def estimated_size(self) -> int:
+        """Bytes this table will occupy, including index/bloom estimate."""
+        overhead = (len(self._index) + 1) * 40 + len(self._keys) * (
+            self._bloom_bits // 8 + 1) + FOOTER_SIZE
+        return self._written + len(self._block) + overhead
+
+    @property
+    def current_user_key(self) -> Optional[bytes]:
+        return self._last_key
+
+    def add(self, user_key: bytes, seq: int, value_type: int, value: bytes) -> None:
+        if self.finished:
+            raise RuntimeError("builder already finished")
+        if self._largest is not None and user_key < self._largest:
+            raise ValueError("keys added out of order")
+        encoded = _encode_entry(self.fmt, user_key, seq, value_type, value)
+        self._block.extend(encoded)
+        self._block_count += 1
+        self._num_entries += 1
+        if self._smallest is None:
+            self._smallest = user_key
+        self._largest = user_key
+        self._last_key = user_key
+        if user_key != (self._keys[-1] if self._keys else None):
+            self._keys.append(user_key)
+        if self.meter is not None:
+            self.meter.charge(self.meter.model.codec_per_record)
+        if len(self._block) >= self.fmt.block_size:
+            self._flush_block()
+
+    def _flush_block(self) -> None:
+        if not self._block:
+            return
+        raw = _encode_block(bytes(self._block), self._block_count)
+        rel_offset = self._written
+        self.handle.append(raw, self.meter)
+        self._written += len(raw)
+        self._index.append((self._largest, rel_offset, len(raw)))
+        self._block = bytearray()
+        self._block_count = 0
+
+    def finish(self) -> TableInfo:
+        """Flush the tail block, write index/bloom/footer; return metadata."""
+        if self.finished:
+            raise RuntimeError("builder already finished")
+        if self._num_entries == 0:
+            raise ValueError("cannot finish an empty table")
+        self._flush_block()
+        self.finished = True
+
+        index_payload = bytearray()
+        for last_key, off, length in self._index:
+            entry = (encode_varint(len(last_key)) + last_key
+                     + encode_varint(off) + encode_varint(length))
+            index_payload.extend(entry)
+            index_payload.extend(b"\x00" * self.fmt.index_entry_overhead)
+        index_raw = _encode_block(bytes(index_payload), len(self._index))
+        index_off = self._written
+        self.handle.append(index_raw, self.meter)
+        self._written += len(index_raw)
+
+        bloom = BloomFilter(len(self._keys), self._bloom_bits)
+        bloom.add_all(self._keys)
+        bloom_blob = bloom.encode()
+        bloom_raw = bloom_blob + encode_fixed32(crc32(bloom_blob))
+        bloom_off = self._written
+        self.handle.append(bloom_raw, self.meter)
+        self._written += len(bloom_raw)
+
+        footer_payload = (encode_fixed64(index_off) + encode_fixed64(len(index_raw))
+                          + encode_fixed64(bloom_off) + encode_fixed64(len(bloom_raw))
+                          + encode_fixed64(self._num_entries) + encode_fixed64(_MAGIC))
+        footer = footer_payload + encode_fixed32(crc32(footer_payload))
+        self.handle.append(footer, self.meter)
+        self._written += len(footer)
+
+        return TableInfo(
+            base_offset=self.base_offset,
+            length=self._written,
+            num_entries=self._num_entries,
+            smallest=self._smallest,
+            largest=self._largest,
+            index_size=len(index_raw),
+            bloom_size=len(bloom_raw),
+        )
+
+
+def _decode_index(raw: bytes, fmt: TableFormat) -> List[Tuple[bytes, int, int]]:
+    if len(raw) < 8:
+        raise CorruptionError("index block too short")
+    payload, trailer = raw[:-8], raw[-8:]
+    count = decode_fixed32(trailer, 0)
+    if crc32(payload) != decode_fixed32(trailer, 4):
+        raise CorruptionError("index block checksum mismatch")
+    entries: List[Tuple[bytes, int, int]] = []
+    pos = 0
+    for _ in range(count):
+        klen, pos = decode_varint(payload, pos)
+        key = bytes(payload[pos:pos + klen])
+        pos += klen
+        off, pos = decode_varint(payload, pos)
+        length, pos = decode_varint(payload, pos)
+        pos += fmt.index_entry_overhead  # skip fixed per-entry padding
+        entries.append((key, off, length))
+    return entries
+
+
+class SSTableReader:
+    """Random and sequential access to one (possibly logical) SSTable."""
+
+    def __init__(self, uid: int, handle: FileHandle, fmt: TableFormat,
+                 base_offset: int, length: int,
+                 index: List[Tuple[bytes, int, int]],
+                 bloom: BloomFilter, num_entries: int, index_size: int):
+        self.uid = uid
+        self.handle = handle
+        self.fmt = fmt
+        self.base_offset = base_offset
+        self.length = length
+        self.index = index
+        self.index_keys = [e[0] for e in index]
+        self.bloom = bloom
+        self.num_entries = num_entries
+        self.index_size = index_size
+
+    # -- opening ---------------------------------------------------------
+
+    @classmethod
+    def open(cls, uid: int, handle: FileHandle, fmt: TableFormat,
+             base_offset: int, length: int,
+             meter: Optional[CpuMeter] = None
+             ) -> Generator[Event, Any, "SSTableReader"]:
+        """Read footer, index block and bloom filter (the §2.6 miss cost).
+
+        The index read is proportional to the table size — this is the
+        TableCache miss penalty the paper measures in Fig 6.
+        """
+        footer_off = base_offset + length - FOOTER_SIZE
+        raw_footer = yield from handle.read(footer_off, FOOTER_SIZE, meter)
+        if len(raw_footer) != FOOTER_SIZE:
+            raise CorruptionError("truncated footer")
+        payload, stored = raw_footer[:-4], decode_fixed32(raw_footer, FOOTER_SIZE - 4)
+        if crc32(payload) != stored:
+            raise CorruptionError("footer checksum mismatch")
+        index_off = decode_fixed64(payload, 0)
+        index_len = decode_fixed64(payload, 8)
+        bloom_off = decode_fixed64(payload, 16)
+        bloom_len = decode_fixed64(payload, 24)
+        num_entries = decode_fixed64(payload, 32)
+        if decode_fixed64(payload, 40) != _MAGIC:
+            raise CorruptionError("bad table magic")
+
+        raw_index = yield from handle.read(
+            base_offset + index_off, index_len, meter, sequential=True)
+        index = _decode_index(raw_index, fmt)
+        raw_bloom = yield from handle.read(
+            base_offset + bloom_off, bloom_len, meter)
+        blob, bcrc = raw_bloom[:-4], decode_fixed32(raw_bloom, len(raw_bloom) - 4)
+        if crc32(blob) != bcrc:
+            raise CorruptionError("bloom checksum mismatch")
+        bloom = BloomFilter.decode(blob)
+        return cls(uid, handle, fmt, base_offset, length, index, bloom,
+                   num_entries, index_len)
+
+    # -- reads ----------------------------------------------------------
+
+    def may_contain(self, user_key: bytes, meter: Optional[CpuMeter] = None) -> bool:
+        if meter is not None:
+            meter.charge(meter.model.bloom_probe)
+        return self.bloom.may_contain(user_key)
+
+    def _locate_block(self, user_key: bytes) -> Optional[Tuple[int, int]]:
+        idx = bisect.bisect_left(self.index_keys, user_key)
+        if idx >= len(self.index):
+            return None
+        _key, off, length = self.index[idx]
+        return off, length
+
+    def read_block(self, rel_offset: int, length: int,
+                   meter: Optional[CpuMeter] = None,
+                   block_cache: Optional[Any] = None
+                   ) -> Generator[Event, Any, DataBlock]:
+        """Fetch one data block, via the block cache when provided."""
+        if block_cache is not None:
+            cached = block_cache.get((self.uid, rel_offset))
+            if cached is not None:
+                if meter is not None:
+                    meter.charge(meter.model.memtable_lookup)
+                return cached
+        raw = yield from self.handle.read(
+            self.base_offset + rel_offset, length, meter)
+        block = DataBlock.decode(self.fmt, raw)
+        if meter is not None:
+            meter.charge(meter.model.codec_per_record * max(1, len(block.entries)))
+        if block_cache is not None:
+            block_cache.put((self.uid, rel_offset), block, block.size_bytes)
+        return block
+
+    def get(self, user_key: bytes, snapshot_seq: int,
+            meter: Optional[CpuMeter] = None,
+            block_cache: Optional[Any] = None
+            ) -> Generator[Event, Any, Tuple[str, Optional[bytes]]]:
+        """Point lookup within this table."""
+        if not self.may_contain(user_key, meter):
+            return (NOT_FOUND, None)
+        located = self._locate_block(user_key)
+        if located is None:
+            return (NOT_FOUND, None)
+        if meter is not None:
+            meter.charge(meter.model.block_search)
+        block = yield from self.read_block(*located, meter=meter,
+                                           block_cache=block_cache)
+        if meter is not None:
+            meter.charge(meter.model.block_search)
+        return block.lookup(user_key, snapshot_seq)
+
+    def iter_entries(self, meter: Optional[CpuMeter] = None
+                     ) -> Generator[Event, Any, List[Entry]]:
+        """Sequentially read and decode the whole table (compaction path)."""
+        entries: List[Entry] = []
+        for _key, off, length in self.index:
+            raw = yield from self.handle.read(
+                self.base_offset + off, length, meter, sequential=True)
+            block = DataBlock.decode(self.fmt, raw)
+            if meter is not None:
+                meter.charge(meter.model.codec_per_record * len(block.entries))
+            entries.extend(block.entries)
+        return entries
+
+    def iter_entries_from(self, user_key: bytes,
+                          meter: Optional[CpuMeter] = None,
+                          max_entries: Optional[int] = None
+                          ) -> Generator[Event, Any, List[Entry]]:
+        """Entries with key >= ``user_key`` (range-scan seek path).
+
+        ``max_entries`` bounds how far past the seek point the scan
+        reads: blocks stop being fetched once at least that many
+        qualifying entries are in hand, so a short scan of a 64 MB
+        table reads a few blocks, not the table's whole tail.
+        """
+        start = bisect.bisect_left(self.index_keys, user_key)
+        entries: List[Entry] = []
+        qualifying = 0
+        for _key, off, length in self.index[start:]:
+            raw = yield from self.handle.read(
+                self.base_offset + off, length, meter, sequential=True)
+            block = DataBlock.decode(self.fmt, raw)
+            if meter is not None:
+                meter.charge(meter.model.codec_per_record * len(block.entries))
+            entries.extend(block.entries)
+            if max_entries is not None:
+                qualifying += sum(1 for e in block.entries
+                                  if e[0] >= user_key)
+                if qualifying >= max_entries:
+                    break
+        return [e for e in entries if e[0] >= user_key]

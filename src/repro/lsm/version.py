@@ -1,0 +1,165 @@
+"""Versions: which (logical) SSTables exist at which level.
+
+A :class:`FileMetaData` names a table by logical number *and* by physical
+location ``(container, offset, length)``.  In stock LevelDB the container
+is the table's own ``.ldb`` file at offset 0; in BoLT many logical
+SSTables share one compaction file at different offsets (§3.2) — the
+8-byte offset the paper adds to MANIFEST records is the ``offset`` field
+here.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["FileMetaData", "Version"]
+
+
+@dataclass
+class FileMetaData:
+    """Metadata for one (logical) SSTable."""
+
+    number: int
+    container: str
+    offset: int
+    length: int
+    smallest: bytes
+    largest: bytes
+    num_entries: int = 0
+    #: Seek-compaction budget (runtime-only; LevelDB's allowed_seeks).
+    allowed_seeks: int = 1 << 30
+
+    def overlaps(self, smallest: Optional[bytes], largest: Optional[bytes]) -> bool:
+        """Key-range overlap against ``[smallest, largest]`` (None = open)."""
+        if smallest is not None and self.largest < smallest:
+            return False
+        if largest is not None and self.smallest > largest:
+            return False
+        return True
+
+
+def key_range(files: Sequence[FileMetaData]) -> Tuple[bytes, bytes]:
+    """Combined [smallest, largest] user-key range of ``files``."""
+    smallest = min(f.smallest for f in files)
+    largest = max(f.largest for f in files)
+    return smallest, largest
+
+
+class Version:
+    """An immutable snapshot of the table tree.
+
+    Level 0 tables may overlap and are ordered newest-first for reads;
+    levels >= 1 hold disjoint user-key ranges sorted by smallest key.
+    """
+
+    def __init__(self, num_levels: int):
+        self.files: List[List[FileMetaData]] = [[] for _ in range(num_levels)]
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.files)
+
+    def clone(self) -> "Version":
+        version = Version(self.num_levels)
+        version.files = [list(level) for level in self.files]
+        return version
+
+    def num_files(self, level: int) -> int:
+        return len(self.files[level])
+
+    def level_bytes(self, level: int) -> int:
+        return sum(f.length for f in self.files[level])
+
+    def total_bytes(self) -> int:
+        return sum(self.level_bytes(level) for level in range(self.num_levels))
+
+    def total_files(self) -> int:
+        return sum(len(level) for level in self.files)
+
+    def live_numbers(self) -> Dict[int, FileMetaData]:
+        return {f.number: f for level in self.files for f in level}
+
+    def deepest_nonempty_level(self) -> int:
+        deepest = 0
+        for level in range(self.num_levels):
+            if self.files[level]:
+                deepest = level
+        return deepest
+
+    # -- placement ---------------------------------------------------------
+
+    def add_file(self, level: int, meta: FileMetaData) -> None:
+        files = self.files[level]
+        if level == 0:
+            files.append(meta)
+            files.sort(key=lambda f: f.number)
+        else:
+            index = bisect.bisect_left([f.smallest for f in files], meta.smallest)
+            files.insert(index, meta)
+
+    def remove_file(self, level: int, number: int) -> bool:
+        files = self.files[level]
+        for index, meta in enumerate(files):
+            if meta.number == number:
+                del files[index]
+                return True
+        return False
+
+    # -- lookups ------------------------------------------------------------
+
+    def tables_for_key(self, level: int, user_key: bytes) -> List[FileMetaData]:
+        """Tables that may hold ``user_key``, in probe order.
+
+        Level 0 returns every overlapping table, newest first (§2.1:
+        L0 tables overlap and must all be consulted); deeper levels
+        return at most one table via binary search.
+        """
+        files = self.files[level]
+        if level == 0:
+            hits = [f for f in files if f.smallest <= user_key <= f.largest]
+            hits.sort(key=lambda f: f.number, reverse=True)
+            return hits
+        index = bisect.bisect_left([f.largest for f in files], user_key)
+        if index < len(files) and files[index].smallest <= user_key:
+            return [files[index]]
+        return []
+
+    def overlapping_files(self, level: int, smallest: Optional[bytes],
+                          largest: Optional[bytes]) -> List[FileMetaData]:
+        """All tables at ``level`` overlapping the user-key range.
+
+        For level 0 the range is expanded transitively, as LevelDB does:
+        an overlapping L0 table may widen the range and pull in more L0
+        tables.
+        """
+        files = list(self.files[level])
+        result: List[FileMetaData] = []
+        if level == 0:
+            lo, hi = smallest, largest
+            changed = True
+            while changed:
+                changed = False
+                for meta in files:
+                    if meta in result or not meta.overlaps(lo, hi):
+                        continue
+                    result.append(meta)
+                    if lo is None or meta.smallest < lo:
+                        lo = meta.smallest
+                        changed = True
+                    if hi is None or meta.largest > hi:
+                        hi = meta.largest
+                        changed = True
+            result.sort(key=lambda f: f.number)
+            return result
+        return [f for f in files if f.overlaps(smallest, largest)]
+
+    def check_invariants(self) -> None:
+        """Assert levels >= 1 are sorted and disjoint (test helper)."""
+        for level in range(1, self.num_levels):
+            files = self.files[level]
+            for left, right in zip(files, files[1:]):
+                if left.largest >= right.smallest:
+                    raise AssertionError(
+                        f"level {level} overlap: {left.number} and {right.number}")

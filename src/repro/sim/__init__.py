@@ -1,0 +1,24 @@
+"""Discrete-event simulation kernel used by every subsystem in repro.
+
+See :mod:`repro.sim.kernel` for the event loop, process and event types,
+:mod:`repro.sim.resources` for locks/conditions/gates, and
+:mod:`repro.sim.cpu` for host CPU cost accounting.
+"""
+
+from .kernel import Environment, Event, Interrupt, Process, SimulationError, Timeout
+from .resources import Condition, Gate, Resource
+from .cpu import CostModel, CpuMeter
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "Condition",
+    "Gate",
+    "Resource",
+    "CostModel",
+    "CpuMeter",
+]

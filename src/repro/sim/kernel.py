@@ -1,0 +1,344 @@
+"""Discrete-event simulation kernel.
+
+This module is the foundation of the whole reproduction: every key-value
+store in :mod:`repro` runs on a *virtual* clock so that performance
+numbers (throughput, tail latency, barrier counts) come from an explicit
+storage cost model instead of meaningless Python wall-clock time.
+
+The kernel follows the classic process-interaction style (as popularized
+by SimPy): simulated activities are plain Python generators that
+``yield`` :class:`Event` objects and are resumed when those events
+trigger.  A tiny example::
+
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(1.5)      # sleep 1.5 virtual seconds
+        return "done"
+
+    proc = env.process(worker(env))
+    env.run()
+    assert env.now == 1.5
+    assert proc.value == "done"
+
+Generators compose with ``yield from``, so the LSM engines in this
+repository write their blocking paths (device I/O, lock acquisition,
+write stalls) as ordinary structured code.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+]
+
+#: Type alias for the generators the kernel drives.
+Coroutine = Generator["Event", Any, Any]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the kernel (e.g. re-triggering an event)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A single occurrence a process can wait for.
+
+    An event is *triggered* once, by :meth:`succeed` or :meth:`fail`.
+    Callbacks attached before the trigger run when the environment
+    processes the event; callbacks attached afterwards are scheduled
+    immediately (still through the event queue, so callback execution
+    never recurses).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_exc", "_triggered", "_processed")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the environment has run this event's callbacks."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        """The success value. Raises the failure exception if failed."""
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exc
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event as failed; waiters see ``exc`` raised."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._exc = exc
+        self.env._schedule(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(self)`` when the event is processed."""
+        if self._processed:
+            # Late subscriber: deliver through the queue to stay iterative.
+            self.env._schedule_call(callback, self)
+        elif self.callbacks is not None:
+            self.callbacks.append(callback)
+
+    def _process(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` virtual seconds in the future."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self._triggered = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """Drives a generator; itself an event that triggers when it returns.
+
+    The generator may yield any :class:`Event`.  When the yielded event
+    succeeds, the generator is resumed with the event's value; when it
+    fails, the exception is thrown into the generator.
+    """
+
+    __slots__ = ("_gen", "_waiting_on", "name")
+
+    def __init__(self, env: "Environment", gen: Coroutine, name: str = ""):
+        super().__init__(env)
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(gen, "__name__", "process")
+        # Kick off at the current simulation time.
+        env._schedule_call(self._resume, None)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            return
+        self.env._schedule_call(self._deliver_interrupt, Interrupt(cause))
+
+    def _deliver_interrupt(self, interrupt: Interrupt) -> None:
+        if self._triggered:
+            return
+        self._waiting_on = None
+        self._step(None, interrupt)
+
+    def _resume(self, event: Optional[Event]) -> None:
+        if self._triggered:
+            return
+        if event is not None and self._waiting_on is not event:
+            return  # stale wakeup (e.g. we were interrupted meanwhile)
+        self._waiting_on = None
+        if event is None or event._exc is None:
+            self._step(event._value if event is not None else None, None)
+        else:
+            self._step(None, event._exc)
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        try:
+            if exc is None:
+                target = self._gen.send(value)
+            else:
+                target = self._gen.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as error:  # noqa: BLE001 - propagate to waiters
+            self.fail(error)
+            return
+        if not isinstance(target, Event):
+            self._gen.close()
+            self.fail(SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Environment:
+    """The event loop: a priority queue of events ordered by virtual time."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Any] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time, in seconds."""
+        return self._now
+
+    # -- scheduling ----------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event, None))
+
+    def _schedule_call(self, func: Callable, arg: Any, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, func, (arg,)))
+
+    # -- event constructors --------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires after ``delay`` virtual seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Coroutine, name: str = "") -> Process:
+        """Start a new simulated process driving ``gen``."""
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """An event that succeeds once every event in ``events`` has.
+
+        The value is the list of individual event values, in order.
+        A failure of any child fails the aggregate immediately.
+        """
+        events = list(events)
+        done = self.event()
+        if not events:
+            done.succeed([])
+            return done
+        remaining = [len(events)]
+        values: List[Any] = [None] * len(events)
+
+        def make_callback(index: int) -> Callable[[Event], None]:
+            def on_child(child: Event) -> None:
+                if done.triggered:
+                    return
+                if child._exc is not None:
+                    done.fail(child._exc)
+                    return
+                values[index] = child._value
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    done.succeed(list(values))
+            return on_child
+
+        for i, child in enumerate(events):
+            child.add_callback(make_callback(i))
+        return done
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """An event that succeeds as soon as any child event succeeds."""
+        events = list(events)
+        done = self.event()
+
+        def on_child(child: Event) -> None:
+            if done.triggered:
+                return
+            if child._exc is not None:
+                done.fail(child._exc)
+            else:
+                done.succeed(child._value)
+
+        for child in events:
+            child.add_callback(on_child)
+        return done
+
+    # -- execution -----------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next queued event."""
+        time, _seq, target, args = heapq.heappop(self._queue)
+        self._now = time
+        if args is None:
+            target._process()
+        else:
+            target(*args)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or virtual time passes ``until``."""
+        if until is None:
+            while self._queue:
+                self.step()
+            return
+        while self._queue and self._queue[0][0] <= until:
+            self.step()
+        if self._now < until:
+            self._now = until
+
+    def run_until(self, event: Event, limit: float = float("inf")) -> Any:
+        """Run until ``event`` is processed; return its value.
+
+        Raises the event's exception if it failed, or
+        :class:`SimulationError` if the queue drains first (deadlock).
+        """
+        while not event.processed:
+            if not self._queue:
+                raise SimulationError(
+                    "event queue drained before the awaited event fired "
+                    "(simulation deadlock?)")
+            if self._queue[0][0] > limit:
+                raise SimulationError(f"virtual time limit {limit} exceeded")
+            self.step()
+        return event.value

@@ -1,0 +1,169 @@
+"""Synchronization primitives for simulated processes.
+
+These mirror the primitives the real LevelDB code base leans on: a mutex
+(:class:`Resource` with capacity 1), a semaphore (capacity > 1, used to
+model device parallelism and compaction thread pools), and a condition
+variable (:class:`Condition`, used for "wait until the background thread
+made room" write stalls).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List
+
+from .kernel import Environment, Event, SimulationError
+
+__all__ = ["Resource", "Condition", "Gate"]
+
+
+class Resource:
+    """A FIFO counting resource (mutex when ``capacity == 1``).
+
+    Usage from a process::
+
+        yield lock.acquire()
+        try:
+            ...critical section...
+        finally:
+            lock.release()
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        # Contention statistics, reported by the benchmark harness.
+        self.total_acquisitions = 0
+        self.total_contended = 0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Return an event that succeeds once a slot is granted."""
+        self.total_acquisitions += 1
+        grant = self.env.event()
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            grant.succeed(self)
+        else:
+            self.total_contended += 1
+            self._waiters.append(grant)
+        return grant
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; True if a slot was granted synchronously."""
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            self.total_acquisitions += 1
+            return True
+        return False
+
+    def release(self) -> None:
+        """Release a slot, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            grant = self._waiters.popleft()
+            grant.succeed(self)  # slot transfers directly to the waiter
+        else:
+            self._in_use -= 1
+
+    def locked(self) -> Generator[Event, Any, "_Held"]:
+        """``yield from lock.locked()`` -> a released-on-close holder."""
+        yield self.acquire()
+        return _Held(self)
+
+
+class _Held:
+    """Tiny helper so callers can ``holder.release()`` exactly once."""
+
+    __slots__ = ("_resource", "_released")
+
+    def __init__(self, resource: Resource):
+        self._resource = resource
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._resource.release()
+
+
+class Condition:
+    """A broadcast condition variable.
+
+    Processes ``yield cond.wait()``; :meth:`notify_all` wakes everyone.
+    As with a real condition variable, waiters must re-check their
+    predicate in a loop.
+    """
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        self.name = name
+        self._waiters: List[Event] = []
+
+    def wait(self) -> Event:
+        event = self.env.event()
+        self._waiters.append(event)
+        return event
+
+    def notify_all(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed()
+
+    def notify_one(self) -> None:
+        if self._waiters:
+            self._waiters.pop(0).succeed()
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+
+class Gate:
+    """A re-armable level-triggered signal.
+
+    ``yield gate.wait()`` returns immediately while the gate is open and
+    blocks while it is closed.  The LSM engines use this to model the
+    L0Stop governor: the gate closes when level 0 overflows and reopens
+    when compaction catches up.
+    """
+
+    def __init__(self, env: Environment, open_: bool = True, name: str = ""):
+        self.env = env
+        self.name = name
+        self._open = open_
+        self._waiters: List[Event] = []
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def close(self) -> None:
+        self._open = False
+
+    def open(self) -> None:
+        self._open = True
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed()
+
+    def wait(self) -> Event:
+        event = self.env.event()
+        if self._open:
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event

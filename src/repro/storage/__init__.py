@@ -1,0 +1,27 @@
+"""Simulated storage substrate: block device, page cache, filesystem.
+
+This package replaces the paper's physical testbed (Samsung 860 EVO SSD,
+8 GB RAM cap).  Every cost the paper measures — barrier latency × barrier
+count, bytes written × bandwidth, metadata traffic, page-cache misses —
+is an explicit model parameter; see DESIGN.md §2 for the substitution
+rationale.
+"""
+
+from .device import BlockDevice, DeviceProfile, DeviceStats, HARD_DISK, NVME_SSD, SATA_SSD
+from .filesystem import FSStats, FileHandle, FileSystemError, SimFS
+from .page_cache import PAGE_SIZE, PageCache
+
+__all__ = [
+    "BlockDevice",
+    "DeviceProfile",
+    "DeviceStats",
+    "SATA_SSD",
+    "NVME_SSD",
+    "HARD_DISK",
+    "SimFS",
+    "FileHandle",
+    "FileSystemError",
+    "FSStats",
+    "PageCache",
+    "PAGE_SIZE",
+]

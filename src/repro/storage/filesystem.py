@@ -1,0 +1,472 @@
+"""Crash-consistent simulated filesystem (SimFS).
+
+SimFS gives the LSM engines exactly the POSIX behaviours the paper's
+argument rests on:
+
+* **Writes are buffered.** ``append``/``write_at`` copy into the page
+  cache and cost (almost) nothing; nothing is durable until a barrier.
+* **Barriers are expensive.** ``fsync``/``fdatasync`` drain the device
+  queue, write back the file's dirty pages, and pay the FLUSH latency.
+* **No ordering without barriers.** On :meth:`SimFS.crash`, each unsynced
+  dirty page independently survives or reverts — the filesystem does
+  not preserve the order in which dirty pages were written (§2.4), which
+  is why the MANIFEST must act as a commit mark.
+* **Hole punching.** ``punch_hole`` reclaims blocks of a compaction file
+  without a barrier (§3.2), with lazy metadata persistence.
+* **Metadata costs.** create/open/unlink/rename each pay a journalled
+  metadata operation on the device — the traffic BoLT's per-compaction-
+  file descriptor cache avoids (§3.2.1).
+
+The byte contents are authoritative: SSTables, WALs and MANIFESTs are
+real encoded bytes, so recovery and corruption detection are real too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Set
+
+from ..sim import CpuMeter, Environment, Event
+from .device import BlockDevice
+from .page_cache import PAGE_SIZE, PageCache
+
+__all__ = ["SimFS", "FileHandle", "FSStats", "FileSystemError"]
+
+
+class FileSystemError(OSError):
+    """Raised for invalid filesystem operations (missing file, etc.)."""
+
+
+@dataclass
+class FSStats:
+    """Cumulative filesystem counters."""
+
+    num_fsync: int = 0
+    num_fdatasync: int = 0
+    #: Ordering-only barriers (BarrierFS's fdatabarrier(), §5).
+    num_fdatabarrier: int = 0
+    num_creates: int = 0
+    num_opens: int = 0
+    num_unlinks: int = 0
+    num_renames: int = 0
+    num_hole_punches: int = 0
+    logical_bytes_written: int = 0
+    bytes_punched: int = 0
+
+    @property
+    def num_barrier_calls(self) -> int:
+        """Total fsync()+fdatasync() calls — the paper's headline count."""
+        return self.num_fsync + self.num_fdatasync
+
+    def snapshot(self) -> "FSStats":
+        return FSStats(**vars(self))
+
+    def delta(self, earlier: "FSStats") -> "FSStats":
+        return FSStats(**{
+            name: getattr(self, name) - getattr(earlier, name)
+            for name in vars(self)
+        })
+
+
+class _SimFile:
+    """Internal per-file state: bytes, dirty pages, punched holes."""
+
+    __slots__ = ("file_id", "name", "data", "dirty", "dirty_epoch",
+                 "submitted", "punched", "durable_size")
+
+    def __init__(self, file_id: int, name: str):
+        self.file_id = file_id
+        self.name = name
+        self.data = bytearray()
+        #: page index -> pre-image bytes of that page as of the last
+        #: barrier (None when the page did not exist durably).
+        self.dirty: Dict[int, Optional[bytes]] = {}
+        #: page index -> write-ordering epoch (see SimFS.epoch).
+        self.dirty_epoch: Dict[int, int] = {}
+        #: dirty pages already dispatched to the device by an ordering
+        #: barrier; the next global FLUSH (any fsync) makes them durable.
+        self.submitted: Set[int] = set()
+        self.punched: Set[int] = set()
+        self.durable_size = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def allocated_bytes(self) -> int:
+        """On-disk footprint: size minus fully punched pages."""
+        return max(0, self.size - len(self.punched) * PAGE_SIZE)
+
+    def _remember_preimage(self, page: int) -> None:
+        if page in self.dirty:
+            return
+        start = page * PAGE_SIZE
+        if start >= self.durable_size:
+            self.dirty[page] = None
+        else:
+            end = min(start + PAGE_SIZE, self.durable_size)
+            self.dirty[page] = bytes(self.data[start:end])
+
+    def mark_dirty_range(self, offset: int, length: int,
+                         epoch: int = 0) -> None:
+        first = offset // PAGE_SIZE
+        last = (offset + length - 1) // PAGE_SIZE
+        for page in range(first, last + 1):
+            self._remember_preimage(page)
+            self.dirty_epoch[page] = epoch
+            self.submitted.discard(page)
+            self.punched.discard(page)
+
+
+class FileHandle:
+    """An open file.  Remains valid after unlink (POSIX semantics)."""
+
+    __slots__ = ("fs", "_file", "closed")
+
+    def __init__(self, fs: "SimFS", file: _SimFile):
+        self.fs = fs
+        self._file = file
+        self.closed = False
+
+    @property
+    def name(self) -> str:
+        return self._file.name
+
+    @property
+    def file_id(self) -> int:
+        return self._file.file_id
+
+    @property
+    def size(self) -> int:
+        return self._file.size
+
+    def close(self) -> None:
+        self.closed = True
+
+    # Thin delegates so call sites read naturally.
+
+    def append(self, data: bytes, meter: Optional[CpuMeter] = None) -> int:
+        return self.fs.append(self, data, meter)
+
+    def write_at(self, offset: int, data: bytes, meter: Optional[CpuMeter] = None) -> None:
+        self.fs.write_at(self, offset, data, meter)
+
+    def read(self, offset: int, length: int,
+             meter: Optional[CpuMeter] = None,
+             sequential: bool = False) -> Generator[Event, Any, bytes]:
+        return self.fs.read(self, offset, length, meter, sequential)
+
+    def fsync(self) -> Generator[Event, Any, None]:
+        return self.fs.fsync(self)
+
+    def fdatasync(self) -> Generator[Event, Any, None]:
+        return self.fs.fdatasync(self)
+
+    def fdatabarrier(self) -> Generator[Event, Any, None]:
+        return self.fs.fdatabarrier(self)
+
+    def punch_hole(self, offset: int, length: int) -> None:
+        self.fs.punch_hole(self, offset, length)
+
+
+class SimFS:
+    """A flat-namespace simulated filesystem over a :class:`BlockDevice`."""
+
+    def __init__(self, env: Environment, device: BlockDevice,
+                 page_cache: Optional[PageCache] = None):
+        self.env = env
+        self.device = device
+        #: ``None`` means an unbounded page cache (everything resident).
+        self.page_cache = page_cache
+        self.stats = FSStats()
+        self._files: Dict[str, _SimFile] = {}
+        self._next_id = 1
+        #: Global write-ordering epoch: bumped by every barrier, so the
+        #: device (one queue) can persist pages in epoch order.  Pages
+        #: dirtied in the same epoch have no ordering between them.
+        self.epoch = 0
+
+    # -- namespace operations (simulation coroutines) ---------------------
+
+    def create(self, name: str) -> Generator[Event, Any, FileHandle]:
+        """Create (truncating) ``name`` and return an open handle."""
+        yield from self.device.metadata_op()
+        file = _SimFile(self._next_id, name)
+        self._next_id += 1
+        self._files[name] = file
+        self.stats.num_creates += 1
+        return FileHandle(self, file)
+
+    def open(self, name: str) -> Generator[Event, Any, FileHandle]:
+        """Open an existing file; pays a metadata (inode lookup) cost."""
+        yield from self.device.metadata_op()
+        file = self._lookup(name)
+        self.stats.num_opens += 1
+        return FileHandle(self, file)
+
+    def unlink(self, name: str) -> Generator[Event, Any, None]:
+        """Remove a file from the namespace; open handles stay valid."""
+        yield from self.device.metadata_op()
+        file = self._lookup(name)
+        del self._files[name]
+        self.stats.num_unlinks += 1
+        if self.page_cache is not None:
+            self.page_cache.invalidate_file(file.file_id)
+
+    def rename(self, old: str, new: str) -> Generator[Event, Any, None]:
+        """Atomically rename ``old`` to ``new`` (replacing ``new``)."""
+        yield from self.device.metadata_op()
+        file = self._lookup(old)
+        del self._files[old]
+        if new in self._files and self.page_cache is not None:
+            self.page_cache.invalidate_file(self._files[new].file_id)
+        file.name = new
+        self._files[new] = file
+        self.stats.num_renames += 1
+
+    # -- namespace queries (free) ------------------------------------------
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def listdir(self, prefix: str = "") -> List[str]:
+        return sorted(n for n in self._files if n.startswith(prefix))
+
+    def file_size(self, name: str) -> int:
+        return self._lookup(name).size
+
+    def total_allocated_bytes(self) -> int:
+        """Sum of on-disk footprints (holes excluded) — disk usage."""
+        return sum(f.allocated_bytes for f in self._files.values())
+
+    def total_logical_bytes(self) -> int:
+        return sum(f.size for f in self._files.values())
+
+    # -- data operations -----------------------------------------------------
+
+    def append(self, handle: FileHandle, data: bytes,
+               meter: Optional[CpuMeter] = None) -> int:
+        """Buffered append; returns the offset the data landed at.
+
+        Costs only a memory copy (charged to ``meter`` if given).
+        Durability requires a subsequent :meth:`fsync`/:meth:`fdatasync`.
+        """
+        file = handle._file
+        offset = file.size
+        file.mark_dirty_range(offset, len(data), self.epoch)  # pre-images first
+        file.data.extend(data)
+        self._make_resident(file, offset, len(data))
+        self.stats.logical_bytes_written += len(data)
+        if meter is not None:
+            meter.charge_bytes(len(data))
+        return offset
+
+    def write_at(self, handle: FileHandle, offset: int, data: bytes,
+                 meter: Optional[CpuMeter] = None) -> None:
+        """Buffered positional write (extends the file if needed)."""
+        file = handle._file
+        end = offset + len(data)
+        file.mark_dirty_range(offset, len(data), self.epoch)  # pre-images first
+        if end > file.size:
+            file.data.extend(b"\x00" * (end - file.size))
+        file.data[offset:end] = data
+        self._make_resident(file, offset, len(data))
+        self.stats.logical_bytes_written += len(data)
+        if meter is not None:
+            meter.charge_bytes(len(data))
+
+    def read(self, handle: FileHandle, offset: int, length: int,
+             meter: Optional[CpuMeter] = None,
+             sequential: bool = False) -> Generator[Event, Any, bytes]:
+        """Read bytes; non-resident pages are fetched from the device.
+
+        Contiguous runs of missing pages coalesce into single device
+        requests, so a cold sequential scan pays bandwidth rather than
+        per-page latency.
+        """
+        file = handle._file
+        if length <= 0 or offset >= file.size:
+            return b""
+        length = min(length, file.size - offset)
+        if self.page_cache is not None:
+            yield from self._fault_in(file, offset, length, sequential)
+        if meter is not None:
+            meter.charge_bytes(length)
+        return bytes(file.data[offset:offset + length])
+
+    def _fault_in(self, file: _SimFile, offset: int, length: int,
+                  sequential: bool) -> Generator[Event, Any, None]:
+        cache = self.page_cache
+        first = offset // PAGE_SIZE
+        last = (offset + length - 1) // PAGE_SIZE
+        run_start: Optional[int] = None
+        runs: List[tuple] = []
+        for page in range(first, last + 1):
+            resident = page in file.dirty or cache.contains(file.file_id, page)
+            if resident:
+                if run_start is not None:
+                    runs.append((run_start, page - 1))
+                    run_start = None
+            elif run_start is None:
+                run_start = page
+        if run_start is not None:
+            runs.append((run_start, last))
+        for start_page, end_page in runs:
+            npages = end_page - start_page + 1
+            yield from self.device.read(
+                npages * PAGE_SIZE, sequential=sequential or npages > 1)
+            cache.insert_range(file.file_id, start_page, end_page)
+
+    def _make_resident(self, file: _SimFile, offset: int, length: int) -> None:
+        if self.page_cache is None or length <= 0:
+            return
+        first = offset // PAGE_SIZE
+        last = (offset + length - 1) // PAGE_SIZE
+        self.page_cache.insert_range(file.file_id, first, last)
+
+    # -- durability -------------------------------------------------------
+
+    def fsync(self, handle: FileHandle) -> Generator[Event, Any, None]:
+        """Flush the file's dirty pages and issue a device barrier."""
+        self.stats.num_fsync += 1
+        yield from self._sync(handle._file)
+
+    def fdatasync(self, handle: FileHandle) -> Generator[Event, Any, None]:
+        """Like :meth:`fsync`; metadata laziness is not distinguished."""
+        self.stats.num_fdatasync += 1
+        yield from self._sync(handle._file)
+
+    def fdatabarrier(self, handle: FileHandle) -> Generator[Event, Any, None]:
+        """BarrierFS's ordering-only barrier (paper §5).
+
+        Dispatches the file's dirty pages to the device **in order** but
+        returns without waiting for the transfer or a FLUSH: all dirty
+        blocks are ordered *before* anything written afterwards, yet
+        nothing is durable until a real fsync drains the device cache.
+        The caller pays only a request-submission overhead; the transfer
+        consumes device time asynchronously.
+        """
+        self.stats.num_fdatabarrier += 1
+        file = handle._file
+        pending = [page for page in file.dirty if page not in file.submitted]
+        file.submitted.update(pending)
+        self.epoch += 1
+        if pending:
+            # Background dispatch: occupies the device, counts the bytes.
+            self.env.process(
+                self.device.write(len(pending) * PAGE_SIZE, sequential=True),
+                name="fdatabarrier-writeback")
+        yield from self.device.submit_only()
+
+    def _sync(self, file: _SimFile) -> Generator[Event, Any, None]:
+        dirty_bytes = len(file.dirty) * PAGE_SIZE
+        yield from self.device.barrier(dirty_bytes)
+        file.dirty.clear()
+        file.dirty_epoch.clear()
+        file.submitted.clear()
+        file.durable_size = file.size
+        self.epoch += 1
+        # A FLUSH drains the whole device cache: every page previously
+        # dispatched by an ordering barrier is durable now too.
+        for other in self._files.values():
+            if other.submitted:
+                for page in other.submitted:
+                    other.dirty.pop(page, None)
+                    other.dirty_epoch.pop(page, None)
+                other.submitted.clear()
+                other.durable_size = other.size
+
+    def punch_hole(self, handle: FileHandle, offset: int, length: int) -> None:
+        """Deallocate whole pages inside ``[offset, offset+length)``.
+
+        Matches ``fallocate(FALLOC_FL_PUNCH_HOLE)``: only pages fully
+        covered by the range are freed; reads of punched pages return
+        zeros.  No barrier is issued (§3.2's lazy metadata sync).
+        """
+        file = handle._file
+        if length <= 0:
+            return
+        end = min(offset + length, file.size)
+        first = (offset + PAGE_SIZE - 1) // PAGE_SIZE  # round up
+        last = end // PAGE_SIZE - 1                     # round down
+        for page in range(first, last + 1):
+            if page not in file.punched:
+                file.punched.add(page)
+                self.stats.bytes_punched += PAGE_SIZE
+            file.dirty.pop(page, None)
+            start = page * PAGE_SIZE
+            file.data[start:start + PAGE_SIZE] = b"\x00" * PAGE_SIZE
+        if self.page_cache is not None and last >= first:
+            self.page_cache.invalidate_range(file.file_id, first, last)
+        self.stats.num_hole_punches += 1
+
+    # -- crash injection ----------------------------------------------------
+
+    def crash(self, rng: Any = None, survive_probability: float = 0.5) -> None:
+        """Simulate power loss.
+
+        Unsynced dirty pages may persist or revert to their pre-barrier
+        image.  Pages dirtied in the *same* write-ordering epoch carry no
+        mutual ordering (the §2.4 hazard): any subset of them may be
+        lost.  Across epochs — separated by an fsync or an ordering
+        barrier (``fdatabarrier``) — the device persists in order: if a
+        page of a later epoch survived, every page of earlier epochs
+        did too (the BarrierFS guarantee, §5).
+
+        Pass ``survive_probability=0.0`` for the adversarial all-lost
+        case or ``1.0`` for all-survived; pass an ``rng`` for randomized
+        subsets (the survivor set is an epoch-ordered prefix with a
+        random boundary epoch).
+        """
+        dirty_pages = [(file.dirty_epoch.get(page, 0), file, page)
+                       for file in self._files.values()
+                       for page in file.dirty]
+        if survive_probability >= 1.0:
+            survivors = set((id(f), p) for _e, f, p in dirty_pages)
+        elif survive_probability <= 0.0 or rng is None:
+            survivors = set()
+        else:
+            target = sum(rng.random() < survive_probability
+                         for _ in dirty_pages)
+            ordered = sorted(dirty_pages, key=lambda item: item[0])
+            # Shuffle within the boundary epoch so same-epoch pages are
+            # lost in arbitrary subsets.
+            if target < len(ordered):
+                boundary_epoch = ordered[target][0]
+                lo = next(i for i, item in enumerate(ordered)
+                          if item[0] == boundary_epoch)
+                hi = max(i for i, item in enumerate(ordered)
+                         if item[0] == boundary_epoch) + 1
+                boundary = ordered[lo:hi]
+                rng.shuffle(boundary)
+                ordered[lo:hi] = boundary
+            survivors = set((id(f), p) for _e, f, p in ordered[:target])
+
+        for file in self._files.values():
+            for page, preimage in list(file.dirty.items()):
+                if (id(file), page) in survivors:
+                    continue
+                start = page * PAGE_SIZE
+                end = min(start + PAGE_SIZE, file.size)
+                if preimage is None:
+                    file.data[start:end] = b"\x00" * (end - start)
+                else:
+                    file.data[start:start + len(preimage)] = preimage
+                    if start + len(preimage) < end:
+                        tail = end - (start + len(preimage))
+                        file.data[start + len(preimage):end] = b"\x00" * tail
+            file.dirty.clear()
+            file.dirty_epoch.clear()
+            file.submitted.clear()
+            file.durable_size = file.size
+        if self.page_cache is not None:
+            self.page_cache.drop_all()
+
+    # -- internals ---------------------------------------------------------
+
+    def _lookup(self, name: str) -> _SimFile:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileSystemError(f"no such file: {name!r}") from None

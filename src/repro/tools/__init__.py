@@ -1,0 +1,20 @@
+"""Operator tools, mirroring the utilities LevelDB ships.
+
+* :mod:`~repro.tools.dbbench` — a ``db_bench``-style micro-benchmark
+  CLI over the simulated stack (``python -m repro.tools.dbbench``).
+* :mod:`~repro.tools.dump` — inspect MANIFESTs, WALs, tables and whole
+  databases (the ``ldb dump`` analog).
+* :mod:`~repro.tools.repair` — rebuild a database whose MANIFEST is
+  lost/corrupt by scavenging tables from data files (``RepairDB``).
+"""
+
+from .dump import describe_database, dump_manifest, dump_table, dump_wal
+from .repair import repair_database
+
+__all__ = [
+    "describe_database",
+    "dump_manifest",
+    "dump_table",
+    "dump_wal",
+    "repair_database",
+]

@@ -1,0 +1,169 @@
+"""db_bench: LevelDB's micro-benchmark CLI over the simulated stack.
+
+Usage::
+
+    python -m repro.tools.dbbench --engine bolt --num 20000 \\
+        --value-size 256 --benchmarks fillrandom,readrandom,readseq,stats
+
+Reported times are **virtual** (modelled SATA SSD); see DESIGN.md §2.
+Benchmarks, as in the original tool:
+
+* ``fillseq``      sequential-key inserts
+* ``fillrandom``   random-key inserts
+* ``overwrite``    re-insert over existing keys
+* ``readrandom``   point lookups of existing keys
+* ``readmissing``  point lookups of absent keys (bloom filter path)
+* ``readseq``      forward range scans
+* ``deleterandom`` random deletes
+* ``compact``      force a full quiesce (flush + drain compactions)
+* ``stats``        print the engine/fs/device counters
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+from typing import Any, Generator, List, Optional
+
+from ..bench import BenchConfig, SYSTEMS, new_stack
+from ..bench.histogram import LatencyHistogram
+from ..bench.metrics import LatencyRecorder
+from ..sim import Event
+
+__all__ = ["main", "run_benchmarks"]
+
+BENCHMARKS = ("fillseq", "fillrandom", "overwrite", "readrandom",
+              "readmissing", "readseq", "deleterandom", "compact", "stats")
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.dbbench",
+        description="LevelDB-style db_bench over the simulated device")
+    parser.add_argument("--engine", default="bolt", choices=sorted(SYSTEMS),
+                        help="system under test (default: bolt)")
+    parser.add_argument("--num", type=int, default=10_000,
+                        help="operations per benchmark (default 10000)")
+    parser.add_argument("--value-size", type=int, default=256)
+    parser.add_argument("--scale", type=int, default=256,
+                        help="1/N of the paper's structure sizes")
+    parser.add_argument("--seed", type=int, default=301)
+    parser.add_argument("--benchmarks",
+                        default="fillrandom,readrandom,readseq,stats",
+                        help="comma-separated list: %s" % ",".join(BENCHMARKS))
+    parser.add_argument("--histogram", action="store_true",
+                        help="print a latency histogram per benchmark")
+    return parser
+
+
+def run_benchmarks(args: argparse.Namespace,
+                   out=print) -> List[dict]:
+    """Run the requested benchmark list; returns one row per benchmark."""
+    config = BenchConfig(scale=args.scale, record_count=args.num,
+                         value_size=args.value_size, seed=args.seed)
+    stack = new_stack(config)
+    system = SYSTEMS[args.engine]
+    db = system.engine_cls.open_sync(
+        stack.env, stack.fs, system.options(config.scale), "db")
+    rng = random.Random(args.seed)
+    value = b"v" * args.value_size
+    written_keys: List[bytes] = []
+    rows: List[dict] = []
+
+    def key_of(index: int) -> bytes:
+        return b"%016d" % index
+
+    def timed(name: str, operation_gen) -> Generator[Event, Any, None]:
+        recorder = LatencyRecorder()
+        histogram = LatencyHistogram()
+        started = stack.env.now
+        count = 0
+        for op in operation_gen:
+            op_started = stack.env.now
+            yield from op
+            latency = stack.env.now - op_started
+            recorder.record(name, latency)
+            histogram.record(latency)
+            count += 1
+        elapsed = stack.env.now - started
+        micros = (elapsed / count * 1e6) if count else 0.0
+        row = {
+            "benchmark": name,
+            "ops": count,
+            "micros_per_op": round(micros, 3),
+            "kops_per_s": round(count / elapsed / 1e3, 2) if elapsed else 0.0,
+            "p99_us": round(recorder.percentile(99.0) * 1e6, 1),
+        }
+        rows.append(row)
+        out(f"{name:12s} : {micros:10.3f} micros/op; "
+            f"{row['kops_per_s']:9.2f} Kops/s; p99 {row['p99_us']} us")
+        if getattr(args, "histogram", False) and count:
+            out(histogram.render())
+
+    def bench(name: str) -> Generator[Event, Any, None]:
+        if name == "fillseq":
+            written_keys.extend(key_of(i) for i in range(args.num))
+            yield from timed(name, (db.put(key_of(i), value)
+                                    for i in range(args.num)))
+        elif name in ("fillrandom", "overwrite"):
+            keys = [key_of(rng.randrange(args.num)) for _ in range(args.num)]
+            written_keys.extend(keys)
+            yield from timed(name, (db.put(k, value) for k in keys))
+        elif name == "readrandom":
+            pool = written_keys or [key_of(i) for i in range(args.num)]
+            yield from timed(name, (db.get(rng.choice(pool))
+                                    for _ in range(args.num)))
+        elif name == "readmissing":
+            yield from timed(name, (db.get(b"missing-%016d" % i)
+                                    for i in range(args.num)))
+        elif name == "readseq":
+            scans = max(1, args.num // 100)
+            yield from timed(name, (db.scan(key_of(rng.randrange(args.num)), 100)
+                                    for _ in range(scans)))
+        elif name == "deleterandom":
+            yield from timed(name, (db.delete(key_of(rng.randrange(args.num)))
+                                    for _ in range(args.num)))
+        elif name == "compact":
+            yield from timed(name, iter([db.flush_all()]))
+        elif name == "stats":
+            status = db.describe()
+            out("levels (tables):  %s" % status["levels"])
+            out("compactions:      %s" % status["stats"]["compactions"])
+            out("settled:          %s" % status["stats"]["settled_promotions"])
+            out("fsync calls:      %s" % stack.fs.stats.num_barrier_calls)
+            out("device MB written:%10.2f"
+                % (stack.device.stats.bytes_written / 1e6))
+            out("device MB read:   %10.2f"
+                % (stack.device.stats.bytes_read / 1e6))
+            out("virtual seconds:  %10.4f" % stack.env.now)
+            rows.append({"benchmark": "stats",
+                         "fsync": stack.fs.stats.num_barrier_calls,
+                         "mb_written": stack.device.stats.bytes_written / 1e6})
+        else:
+            raise SystemExit(f"unknown benchmark {name!r} "
+                             f"(choose from {', '.join(BENCHMARKS)})")
+
+    requested = [name.strip() for name in args.benchmarks.split(",") if name.strip()]
+    for name in requested:
+        if name not in BENCHMARKS:
+            raise SystemExit(f"unknown benchmark {name!r} "
+                             f"(choose from {', '.join(BENCHMARKS)})")
+
+    def driver():
+        for name in requested:
+            yield from bench(name)
+
+    out(f"engine: {system.label}  num: {args.num}  "
+        f"value: {args.value_size} B  scale: 1/{args.scale}")
+    stack.env.run_until(stack.env.process(driver()))
+    db.close_sync()
+    return rows
+
+
+def main(argv: Optional[List[str]] = None) -> List[dict]:
+    args = _parser().parse_args(argv)
+    return run_benchmarks(args)
+
+
+if __name__ == "__main__":
+    main()

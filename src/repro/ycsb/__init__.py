@@ -1,0 +1,31 @@
+"""YCSB workload generator and simulated clients (paper §4.1)."""
+
+from .distributions import (
+    KEY_SIZE,
+    InsertCounter,
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    build_key,
+    fnv_hash64,
+)
+from .workload import RUN_ORDER, WORKLOADS, WorkloadRunner, WorkloadSpec
+from .client import run_operations, run_phase
+
+__all__ = [
+    "KEY_SIZE",
+    "InsertCounter",
+    "LatestGenerator",
+    "ScrambledZipfianGenerator",
+    "UniformGenerator",
+    "ZipfianGenerator",
+    "build_key",
+    "fnv_hash64",
+    "RUN_ORDER",
+    "WORKLOADS",
+    "WorkloadRunner",
+    "WorkloadSpec",
+    "run_operations",
+    "run_phase",
+]

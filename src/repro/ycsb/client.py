@@ -1,0 +1,79 @@
+"""Simulated YCSB clients.
+
+The paper uses four client threads for every experiment (§4.1); here a
+client is a simulation process that issues the workload's operations
+back-to-back against the engine's coroutine API, recording each
+operation's virtual-time latency (which includes write stalls,
+slowdown sleeps and device waits — the quantities Fig 4(b)/14/16 plot).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, List, Optional
+
+from ..bench.metrics import LatencyRecorder
+from ..lsm.engine import LSMEngine
+from ..sim import Environment, Event
+from .workload import Operation, WorkloadRunner, WorkloadSpec
+
+__all__ = ["run_operations", "run_phase"]
+
+
+def _client(env: Environment, db: LSMEngine, ops: List[Operation],
+            recorder: LatencyRecorder) -> Generator[Event, Any, None]:
+    for kind, key, payload in ops:
+        start = env.now
+        if kind in ("insert", "update"):
+            yield from db.put(key, payload)
+        elif kind == "read":
+            yield from db.get(key)
+        elif kind == "scan":
+            yield from db.scan(key, payload)
+        elif kind == "rmw":
+            value = yield from db.get(key)
+            new_value = payload if value is None else payload
+            yield from db.put(key, new_value)
+        else:
+            raise ValueError(f"unknown operation kind {kind!r}")
+        recorder.record(kind, env.now - start)
+
+
+def run_operations(env: Environment, db: LSMEngine,
+                   operations: Iterable[Operation], num_clients: int = 4,
+                   recorder: Optional[LatencyRecorder] = None
+                   ) -> Generator[Event, Any, LatencyRecorder]:
+    """Issue ``operations`` from ``num_clients`` concurrent clients.
+
+    Operations are dealt round-robin so every client sees the workload's
+    mix; the coroutine returns once all clients finish.
+    """
+    recorder = recorder or LatencyRecorder()
+    shards: List[List[Operation]] = [[] for _ in range(num_clients)]
+    for index, op in enumerate(operations):
+        shards[index % num_clients].append(op)
+    procs = [env.process(_client(env, db, shard, recorder),
+                         name=f"ycsb-client-{i}")
+             for i, shard in enumerate(shards) if shard]
+    if procs:
+        yield env.all_of(procs)
+    return recorder
+
+
+def run_phase(env: Environment, db: LSMEngine, spec: WorkloadSpec,
+              num_ops: int, record_count: int, value_size: int = 1024,
+              num_clients: int = 4, seed: int = 42,
+              insert_counter=None, quiesce: bool = False
+              ) -> Generator[Event, Any, LatencyRecorder]:
+    """Run one workload phase end to end and return its latencies.
+
+    ``quiesce`` additionally waits for all background compaction to
+    drain afterwards (used between load and run phases, mirroring the
+    paper's fill-then-measure methodology).
+    """
+    runner = WorkloadRunner(spec, record_count, value_size=value_size,
+                            seed=seed, insert_counter=insert_counter)
+    ops = list(runner.operations(num_ops))
+    recorder = yield from run_operations(env, db, ops, num_clients)
+    if quiesce:
+        yield from db.flush_all()
+    return recorder

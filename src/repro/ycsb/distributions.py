@@ -1,0 +1,156 @@
+"""YCSB request distributions (Cooper et al., SoCC'10).
+
+Implements the generators the paper's workloads use: uniform, zipfian
+(Gray et al.'s incremental algorithm, constant 0.99 as in YCSB core),
+scrambled zipfian (zipfian popularity scattered over the keyspace by an
+FNV hash) and latest (zipfian over recency, for workload D's
+"95% latest read").
+
+Key naming follows YCSB: ``user`` + zero-padded FNV-64 of the key
+number, giving the paper's 23-byte keys.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+__all__ = [
+    "fnv_hash64",
+    "build_key",
+    "UniformGenerator",
+    "ZipfianGenerator",
+    "ScrambledZipfianGenerator",
+    "LatestGenerator",
+    "KEY_SIZE",
+]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+#: "user" + 19 digits — the 23-byte YCSB key the paper uses.
+KEY_SIZE = 23
+
+ZIPFIAN_CONSTANT = 0.99
+
+
+def fnv_hash64(value: int) -> int:
+    """FNV-1a over the 8 little-endian bytes of ``value`` (YCSB's hash)."""
+    h = _FNV_OFFSET
+    for _ in range(8):
+        octet = value & 0xFF
+        value >>= 8
+        h ^= octet
+        h = (h * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def build_key(keynum: int, hashed: bool = True) -> bytes:
+    """The YCSB record key for logical key number ``keynum``."""
+    if hashed:
+        keynum = fnv_hash64(keynum)
+    return b"user%019d" % (keynum % (10 ** 19))
+
+
+class UniformGenerator:
+    """Uniform choice over ``[0, item_count)``."""
+
+    def __init__(self, item_count: int, rng: Optional[random.Random] = None):
+        if item_count <= 0:
+            raise ValueError("item_count must be positive")
+        self.item_count = item_count
+        self.rng = rng or random.Random()
+
+    def next(self) -> int:
+        return self.rng.randrange(self.item_count)
+
+
+class ZipfianGenerator:
+    """Zipfian over ``[0, item_count)``; rank 0 is the most popular.
+
+    Gray et al.'s 'Quickly generating billion-record synthetic
+    databases' algorithm, as used by YCSB core.  ``zeta`` is computed
+    incrementally so the generator supports a growing item count (needed
+    by :class:`LatestGenerator`).
+    """
+
+    def __init__(self, item_count: int, theta: float = ZIPFIAN_CONSTANT,
+                 rng: Optional[random.Random] = None):
+        if item_count <= 0:
+            raise ValueError("item_count must be positive")
+        self.rng = rng or random.Random()
+        self.theta = theta
+        self.alpha = 1.0 / (1.0 - theta)
+        self.item_count = 0
+        self.zeta_n = 0.0
+        self.zeta2 = self._zeta_static(2, theta)
+        self._grow_to(item_count)
+
+    @staticmethod
+    def _zeta_static(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def _grow_to(self, item_count: int) -> None:
+        for i in range(self.item_count + 1, item_count + 1):
+            self.zeta_n += 1.0 / (i ** self.theta)
+        self.item_count = item_count
+        self.eta = ((1.0 - (2.0 / item_count) ** (1.0 - self.theta))
+                    / (1.0 - self.zeta2 / self.zeta_n))
+
+    def next(self, item_count: Optional[int] = None) -> int:
+        if item_count is not None and item_count > self.item_count:
+            self._grow_to(item_count)
+        u = self.rng.random()
+        uz = u * self.zeta_n
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.item_count
+                   * (self.eta * u - self.eta + 1.0) ** self.alpha)
+
+
+class ScrambledZipfianGenerator:
+    """Zipfian popularity scattered uniformly across the keyspace.
+
+    This is YCSB's default "zipfian" request distribution: hot keys are
+    spread over the whole key range rather than clustered at rank 0.
+    """
+
+    def __init__(self, item_count: int, rng: Optional[random.Random] = None):
+        self.item_count = item_count
+        self._zipfian = ZipfianGenerator(item_count, rng=rng)
+
+    def next(self) -> int:
+        rank = self._zipfian.next()
+        return fnv_hash64(rank) % self.item_count
+
+
+class LatestGenerator:
+    """Skewed towards recently inserted records (workload D).
+
+    Draws a zipfian rank over the *current* record count and counts
+    back from the newest record.
+    """
+
+    def __init__(self, insert_counter: "InsertCounter",
+                 rng: Optional[random.Random] = None):
+        self.counter = insert_counter
+        self._zipfian = ZipfianGenerator(max(1, insert_counter.count), rng=rng)
+
+    def next(self) -> int:
+        count = max(1, self.counter.count)
+        rank = self._zipfian.next(count)
+        return max(0, count - 1 - rank)
+
+
+class InsertCounter:
+    """Shared record counter so LatestGenerator tracks inserts."""
+
+    def __init__(self, initial: int):
+        self.count = initial
+
+    def next_key(self) -> int:
+        key = self.count
+        self.count += 1
+        return key

@@ -1,0 +1,132 @@
+"""YCSB workload definitions (paper §4.1).
+
+The paper submits the core YCSB workloads in the recommended order
+``LA, A, B, C, F, D, delete database, LE, E``: Load A and Load E are
+bulk loads; A–F mix reads, updates, inserts, scans and
+read-modify-writes with zipfian / latest request distributions, and the
+Fig 13(b) experiments rerun everything with uniform request keys.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional, Tuple
+
+from .distributions import (
+    InsertCounter,
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    build_key,
+)
+
+__all__ = ["WorkloadSpec", "WORKLOADS", "WorkloadRunner", "Operation",
+           "RUN_ORDER"]
+
+#: (kind, key, value_or_scan_len); kind in
+#: {"insert", "update", "read", "scan", "rmw"}.
+Operation = Tuple[str, bytes, object]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Operation mix of one YCSB workload."""
+
+    name: str
+    read_prop: float = 0.0
+    update_prop: float = 0.0
+    insert_prop: float = 0.0
+    scan_prop: float = 0.0
+    rmw_prop: float = 0.0
+    request_dist: str = "zipfian"  # zipfian | uniform | latest
+    max_scan_len: int = 100
+    is_load: bool = False
+
+    def validate(self) -> None:
+        total = (self.read_prop + self.update_prop + self.insert_prop
+                 + self.scan_prop + self.rmw_prop)
+        if not self.is_load and abs(total - 1.0) > 1e-9:
+            raise ValueError(f"{self.name}: proportions sum to {total}")
+
+    def with_distribution(self, dist: str) -> "WorkloadSpec":
+        return replace(self, request_dist=dist)
+
+
+#: The canonical YCSB core workloads.
+WORKLOADS = {
+    "load_a": WorkloadSpec("load_a", insert_prop=1.0, is_load=True),
+    "load_e": WorkloadSpec("load_e", insert_prop=1.0, is_load=True),
+    "a": WorkloadSpec("a", read_prop=0.5, update_prop=0.5),
+    "b": WorkloadSpec("b", read_prop=0.95, update_prop=0.05),
+    "c": WorkloadSpec("c", read_prop=1.0),
+    "d": WorkloadSpec("d", read_prop=0.95, insert_prop=0.05,
+                      request_dist="latest"),
+    "e": WorkloadSpec("e", scan_prop=0.95, insert_prop=0.05),
+    "f": WorkloadSpec("f", read_prop=0.5, rmw_prop=0.5),
+}
+
+#: The paper's §4.1 submission order ("delete database" between D and LE).
+RUN_ORDER = ("load_a", "a", "b", "c", "f", "d", "delete", "load_e", "e")
+
+
+class WorkloadRunner:
+    """Generates the operation stream of one workload phase."""
+
+    def __init__(self, spec: WorkloadSpec, record_count: int,
+                 value_size: int = 1024, seed: int = 42,
+                 insert_counter: Optional[InsertCounter] = None):
+        spec.validate()
+        self.spec = spec
+        self.value_size = value_size
+        self.rng = random.Random(seed)
+        self.counter = insert_counter or InsertCounter(record_count)
+        self._op_seq = 0
+        dist = spec.request_dist
+        if dist == "zipfian":
+            self._chooser = ScrambledZipfianGenerator(
+                max(1, record_count), rng=self.rng)
+        elif dist == "uniform":
+            self._chooser = UniformGenerator(max(1, record_count), rng=self.rng)
+        elif dist == "latest":
+            self._chooser = LatestGenerator(self.counter, rng=self.rng)
+        else:
+            raise ValueError(f"unknown request distribution {dist!r}")
+
+    def make_value(self) -> bytes:
+        """A unique value of the configured size (compression is off, so
+        content is irrelevant; a cheap counter keeps values distinct)."""
+        self._op_seq += 1
+        tag = b"%016d" % self._op_seq
+        if self.value_size <= len(tag):
+            return tag[:self.value_size]
+        return tag + b"v" * (self.value_size - len(tag))
+
+    def _request_key(self) -> bytes:
+        keynum = self._chooser.next()
+        if self.spec.request_dist != "latest":
+            keynum %= max(1, self.counter.count)
+        return build_key(keynum)
+
+    def operations(self, count: int) -> Iterator[Operation]:
+        """Yield ``count`` operations of this workload's mix."""
+        spec = self.spec
+        for _ in range(count):
+            if spec.is_load:
+                yield ("insert", build_key(self.counter.next_key()),
+                       self.make_value())
+                continue
+            roll = self.rng.random()
+            if roll < spec.read_prop:
+                yield ("read", self._request_key(), None)
+            elif roll < spec.read_prop + spec.update_prop:
+                yield ("update", self._request_key(), self.make_value())
+            elif roll < spec.read_prop + spec.update_prop + spec.insert_prop:
+                yield ("insert", build_key(self.counter.next_key()),
+                       self.make_value())
+            elif (roll < spec.read_prop + spec.update_prop
+                    + spec.insert_prop + spec.scan_prop):
+                length = self.rng.randrange(1, spec.max_scan_len + 1)
+                yield ("scan", self._request_key(), length)
+            else:
+                yield ("rmw", self._request_key(), self.make_value())

@@ -1,0 +1,49 @@
+"""Shared fixtures: simulated stacks and small engine configurations."""
+
+import pytest
+
+from repro.lsm import Options
+from repro.sim import Environment
+from repro.storage import BlockDevice, PageCache, SATA_SSD, SimFS
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def device(env):
+    return BlockDevice(env, SATA_SSD)
+
+
+@pytest.fixture
+def fs(env, device):
+    return SimFS(env, device, PageCache(32 * MB))
+
+
+@pytest.fixture
+def small_options():
+    """A small but structurally faithful engine configuration."""
+    return Options(
+        memtable_size=64 * KB,
+        sstable_size=16 * KB,
+        level1_max_bytes=64 * KB,
+        block_cache_bytes=256 * KB,
+        max_open_files=64,
+    )
+
+
+def drive(env, gen):
+    """Run a coroutine to completion on ``env`` and return its value."""
+    return env.run_until(env.process(gen))
+
+
+@pytest.fixture
+def run(env):
+    def _run(gen):
+        return drive(env, gen)
+    return _run

@@ -1,0 +1,104 @@
+"""Unit and property tests for binary codecs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lsm.codec import (
+    CorruptionError,
+    crc32,
+    decode_fixed32,
+    decode_fixed64,
+    decode_length_prefixed,
+    decode_varint,
+    encode_fixed32,
+    encode_fixed64,
+    encode_length_prefixed,
+    encode_varint,
+)
+
+
+class TestVarint:
+    @given(st.integers(min_value=0, max_value=2 ** 63 - 1))
+    def test_roundtrip(self, value):
+        data = encode_varint(value)
+        decoded, offset = decode_varint(data)
+        assert decoded == value
+        assert offset == len(data)
+
+    def test_small_values_are_one_byte(self):
+        for value in (0, 1, 127):
+            assert len(encode_varint(value)) == 1
+
+    def test_boundary_sizes(self):
+        assert len(encode_varint(128)) == 2
+        assert len(encode_varint(16383)) == 2
+        assert len(encode_varint(16384)) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_truncated_raises(self):
+        data = encode_varint(300)[:1]  # continuation bit set, no next byte
+        with pytest.raises(CorruptionError):
+            decode_varint(data)
+
+    def test_decode_at_offset(self):
+        data = b"\xff" + encode_varint(42)
+        value, offset = decode_varint(data, 1)
+        assert value == 42
+        assert offset == 2
+
+    @given(st.lists(st.integers(min_value=0, max_value=2 ** 40),
+                    min_size=1, max_size=20))
+    def test_concatenated_stream(self, values):
+        blob = b"".join(encode_varint(v) for v in values)
+        decoded = []
+        pos = 0
+        while pos < len(blob):
+            value, pos = decode_varint(blob, pos)
+            decoded.append(value)
+        assert decoded == values
+
+
+class TestFixed:
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    def test_fixed32_roundtrip(self, value):
+        assert decode_fixed32(encode_fixed32(value)) == value
+
+    @given(st.integers(min_value=0, max_value=2 ** 64 - 1))
+    def test_fixed64_roundtrip(self, value):
+        assert decode_fixed64(encode_fixed64(value)) == value
+
+    def test_truncated_raises(self):
+        with pytest.raises(CorruptionError):
+            decode_fixed32(b"\x01\x02")
+        with pytest.raises(CorruptionError):
+            decode_fixed64(b"\x01\x02\x03\x04")
+
+
+class TestLengthPrefixed:
+    @given(st.binary(max_size=1000))
+    def test_roundtrip(self, payload):
+        data = encode_length_prefixed(payload)
+        decoded, offset = decode_length_prefixed(data)
+        assert decoded == payload
+        assert offset == len(data)
+
+    def test_truncated_raises(self):
+        data = encode_length_prefixed(b"hello")[:-2]
+        with pytest.raises(CorruptionError):
+            decode_length_prefixed(data)
+
+
+class TestCrc:
+    def test_deterministic(self):
+        assert crc32(b"abc") == crc32(b"abc")
+
+    def test_sensitive_to_any_flip(self):
+        base = crc32(b"hello world")
+        assert crc32(b"hellO world") != base
+
+    @given(st.binary(max_size=256))
+    def test_always_32_bits(self, data):
+        assert 0 <= crc32(data) <= 0xFFFFFFFF

@@ -1,0 +1,205 @@
+"""Edge cases across the stack: empty structures, boundary conditions,
+device parallelism, page-boundary writes."""
+
+import pytest
+
+from repro.lsm import LSMEngine, Options
+from repro.sim import Environment
+from repro.storage import (
+    BlockDevice,
+    NVME_SSD,
+    PAGE_SIZE,
+    PageCache,
+    SATA_SSD,
+    SimFS,
+)
+
+KB = 1 << 10
+
+
+def small_options(**overrides):
+    base = dict(memtable_size=16 * KB, sstable_size=8 * KB,
+                level1_max_bytes=32 * KB)
+    base.update(overrides)
+    return Options(**base)
+
+
+def fresh_db(options=None):
+    env = Environment()
+    fs = SimFS(env, BlockDevice(env), PageCache(16 << 20))
+    db = LSMEngine.open_sync(env, fs, options or small_options(), "db")
+    return env, fs, db
+
+
+class TestScanEdges:
+    def test_scan_empty_db(self):
+        _env, _fs, db = fresh_db()
+        assert db.scan_sync(b"anything", 10) == []
+
+    def test_scan_past_all_keys(self):
+        _env, _fs, db = fresh_db()
+        db.put_sync(b"aaa", b"1")
+        assert db.scan_sync(b"zzz", 10) == []
+
+    def test_scan_count_zero(self):
+        _env, _fs, db = fresh_db()
+        db.put_sync(b"k", b"v")
+        assert db.scan_sync(b"a", 0) == []
+
+    def test_scan_count_larger_than_db(self):
+        _env, _fs, db = fresh_db()
+        for i in range(5):
+            db.put_sync(b"k%d" % i, b"v")
+        assert len(db.scan_sync(b"", 1000)) == 5
+
+    def test_scan_over_flushed_tombstone_runs(self):
+        env, _fs, db = fresh_db()
+        for i in range(200):
+            db.put_sync(b"k%04d" % i, b"v")
+        env.run_until(env.process(db.flush_all()))
+        for i in range(200):
+            if i % 2:
+                db.delete_sync(b"k%04d" % i)
+        env.run_until(env.process(db.flush_all()))
+        result = db.scan_sync(b"k", 200)
+        assert [k for k, _v in result] == [b"k%04d" % i
+                                           for i in range(0, 200, 2)]
+
+
+class TestGetEdges:
+    def test_get_on_empty_db(self):
+        _env, _fs, db = fresh_db()
+        assert db.get_sync(b"anything") is None
+
+    def test_reinsert_after_delete(self):
+        env, _fs, db = fresh_db()
+        db.put_sync(b"k", b"v1")
+        db.delete_sync(b"k")
+        env.run_until(env.process(db.flush_all()))
+        db.put_sync(b"k", b"v2")
+        assert db.get_sync(b"k") == b"v2"
+
+    def test_key_larger_than_block(self):
+        _env, _fs, db = fresh_db()
+        key = b"K" * 6000  # wider than a 4 KB block
+        db.put_sync(key, b"big-key-value")
+        assert db.get_sync(key) == b"big-key-value"
+
+    def test_many_versions_of_one_key(self):
+        env, _fs, db = fresh_db()
+        for i in range(500):
+            db.put_sync(b"hot", b"v%d" % i)
+        env.run_until(env.process(db.flush_all()))
+        assert db.get_sync(b"hot") == b"v499"
+
+
+class TestDeviceParallelism:
+    def test_nvme_parallel_channels(self):
+        env = Environment()
+        dev = BlockDevice(env, NVME_SSD)
+        done = []
+
+        def reader(tag):
+            yield from dev.read(1 << 20, sequential=True)
+            done.append((tag, env.now))
+
+        for tag in range(4):
+            env.process(reader(tag))
+        env.run()
+        # 4 channels: all four finish together, not serially.
+        times = [t for _tag, t in done]
+        assert max(times) < 2 * min(times)
+
+    def test_barrier_drains_all_channels(self):
+        env = Environment()
+        dev = BlockDevice(env, NVME_SSD)
+        order = []
+
+        def writer():
+            yield from dev.write(8 << 20)
+            order.append(("write", env.now))
+
+        def syncer():
+            yield from dev.barrier(0)
+            order.append(("barrier", env.now))
+
+        env.process(writer())
+        env.process(writer())
+        env.process(syncer())
+        env.run()
+        assert order[-1][0] == "barrier"
+
+
+class TestSimFSBoundaries:
+    def test_write_at_over_punched_page(self, env, fs, run):
+        def scenario():
+            handle = yield from fs.create("f")
+            handle.append(b"x" * (4 * PAGE_SIZE))
+            yield from handle.fsync()
+            handle.punch_hole(PAGE_SIZE, PAGE_SIZE)
+            before = fs.total_allocated_bytes()
+            handle.write_at(PAGE_SIZE, b"y" * PAGE_SIZE)  # re-allocates
+            after = fs.total_allocated_bytes()
+            data = yield from handle.read(PAGE_SIZE, PAGE_SIZE)
+            return before, after, data
+
+        before, after, data = run(scenario())
+        assert after == before + PAGE_SIZE
+        assert data == b"y" * PAGE_SIZE
+
+    def test_append_exactly_page_sized(self, env, fs, run):
+        def scenario():
+            handle = yield from fs.create("f")
+            handle.append(b"a" * PAGE_SIZE)
+            handle.append(b"b" * PAGE_SIZE)
+            yield from handle.fsync()
+            return (yield from handle.read(PAGE_SIZE - 1, 2))
+
+        assert run(scenario()) == b"ab"
+
+    def test_zero_length_append(self, env, fs, run):
+        def scenario():
+            handle = yield from fs.create("f")
+            offset = handle.append(b"")
+            return offset, handle.size
+
+        assert run(scenario()) == (0, 0)
+
+    def test_read_zero_length(self, env, fs, run):
+        def scenario():
+            handle = yield from fs.create("f")
+            handle.append(b"data")
+            return (yield from handle.read(2, 0))
+
+        assert run(scenario()) == b""
+
+    def test_rename_missing_raises(self, env, fs, run):
+        from repro.storage import FileSystemError
+
+        def scenario():
+            yield from fs.rename("ghost", "other")
+
+        with pytest.raises(FileSystemError):
+            run(scenario())
+
+
+class TestEngineLifecycle:
+    def test_close_is_idempotent_with_open_reopen(self):
+        env, fs, db = fresh_db()
+        db.put_sync(b"k", b"v")
+        db.close_sync()
+        db2 = LSMEngine.open_sync(env, fs, small_options(), "db")
+        # close() fsyncs the WAL, so the unflushed write survives reopen.
+        assert db2.get_sync(b"k") == b"v"
+        db2.close_sync()
+
+    def test_two_databases_on_one_fs(self):
+        env = Environment()
+        fs = SimFS(env, BlockDevice(env), PageCache(16 << 20))
+        db_a = LSMEngine.open_sync(env, fs, small_options(), "alpha")
+        db_b = LSMEngine.open_sync(env, fs, small_options(), "beta")
+        db_a.put_sync(b"k", b"from-alpha")
+        db_b.put_sync(b"k", b"from-beta")
+        assert db_a.get_sync(b"k") == b"from-alpha"
+        assert db_b.get_sync(b"k") == b"from-beta"
+        assert fs.listdir("alpha/") and fs.listdir("beta/")

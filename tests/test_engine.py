@@ -1,0 +1,379 @@
+"""Integration tests for the base LSM engine: operations, compaction
+dynamics, governors, and the read path."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lsm import LSMEngine, Options, WriteBatch
+from repro.sim import Environment
+from repro.storage import BlockDevice, PageCache, SimFS
+
+KB = 1 << 10
+
+
+def small_options(**overrides):
+    base = dict(memtable_size=32 * KB, sstable_size=8 * KB,
+                level1_max_bytes=32 * KB, block_cache_bytes=128 * KB,
+                max_open_files=128)
+    base.update(overrides)
+    return Options(**base)
+
+
+def fresh_db(options=None):
+    env = Environment()
+    fs = SimFS(env, BlockDevice(env), PageCache(16 << 20))
+    db = LSMEngine.open_sync(env, fs, options or small_options(), "db")
+    return env, fs, db
+
+
+class TestBasicOperations:
+    def test_put_get(self):
+        _env, _fs, db = fresh_db()
+        db.put_sync(b"key", b"value")
+        assert db.get_sync(b"key") == b"value"
+
+    def test_get_missing(self):
+        _env, _fs, db = fresh_db()
+        assert db.get_sync(b"nope") is None
+
+    def test_overwrite(self):
+        _env, _fs, db = fresh_db()
+        db.put_sync(b"k", b"v1")
+        db.put_sync(b"k", b"v2")
+        assert db.get_sync(b"k") == b"v2"
+
+    def test_delete(self):
+        _env, _fs, db = fresh_db()
+        db.put_sync(b"k", b"v")
+        db.delete_sync(b"k")
+        assert db.get_sync(b"k") is None
+
+    def test_delete_missing_is_fine(self):
+        _env, _fs, db = fresh_db()
+        db.delete_sync(b"ghost")
+        assert db.get_sync(b"ghost") is None
+
+    def test_empty_value(self):
+        _env, _fs, db = fresh_db()
+        db.put_sync(b"k", b"")
+        assert db.get_sync(b"k") == b""
+
+    def test_large_value(self):
+        _env, _fs, db = fresh_db()
+        value = bytes(range(256)) * 512  # 128 KB, spans many blocks
+        db.put_sync(b"big", value)
+        assert db.get_sync(b"big") == value
+
+    def test_write_batch_is_atomic_unit(self):
+        env, _fs, db = fresh_db()
+        batch = WriteBatch()
+        batch.put(b"a", b"1")
+        batch.put(b"b", b"2")
+        batch.delete(b"a")
+        env.run_until(env.process(db.write(batch)))
+        assert db.get_sync(b"a") is None
+        assert db.get_sync(b"b") == b"2"
+
+    def test_empty_batch_noop(self):
+        env, _fs, db = fresh_db()
+        env.run_until(env.process(db.write(WriteBatch())))
+        assert db.versions.last_sequence == 0
+
+    def test_scan_ordered(self):
+        _env, _fs, db = fresh_db()
+        for i in (5, 1, 3, 2, 4):
+            db.put_sync(b"k%02d" % i, b"v%d" % i)
+        result = db.scan_sync(b"k02", 3)
+        assert result == [(b"k02", b"v2"), (b"k03", b"v3"), (b"k04", b"v4")]
+
+    def test_scan_skips_tombstones(self):
+        _env, _fs, db = fresh_db()
+        for i in range(5):
+            db.put_sync(b"k%d" % i, b"v")
+        db.delete_sync(b"k2")
+        result = db.scan_sync(b"k0", 10)
+        assert [k for k, _v in result] == [b"k0", b"k1", b"k3", b"k4"]
+
+    def test_scan_across_memtable_and_tables(self):
+        env, _fs, db = fresh_db()
+        for i in range(0, 100, 2):
+            db.put_sync(b"k%04d" % i, b"old")
+        env.run_until(env.process(db.flush_all()))
+        for i in range(1, 100, 2):
+            db.put_sync(b"k%04d" % i, b"new")
+        result = db.scan_sync(b"k0000", 10)
+        assert [k for k, _v in result] == [b"k%04d" % i for i in range(10)]
+
+    def test_describe(self):
+        _env, _fs, db = fresh_db()
+        db.put_sync(b"k", b"v")
+        info = db.describe()
+        assert info["engine"] == "leveldb"
+        assert info["last_sequence"] == 1
+        assert len(info["levels"]) == 7
+
+
+class TestCompactionDynamics:
+    def _load(self, db, env, n=2000, value_size=64, seed=3):
+        rng = random.Random(seed)
+        model = {}
+
+        def writer():
+            for i in range(n):
+                key = b"user%08d" % rng.randrange(n)
+                value = b"v" * value_size + b"%d" % i
+                model[key] = value
+                yield from db.put(key, value)
+            yield from db.flush_all()
+
+        env.run_until(env.process(writer()))
+        return model
+
+    def test_data_migrates_to_deeper_levels(self):
+        env, _fs, db = fresh_db()
+        self._load(db, env)
+        counts = db.level_table_counts()
+        assert sum(counts[1:]) > 0  # data left level 0
+        assert db.stats.compactions > 0
+        assert db.stats.memtable_flushes > 0
+
+    def test_levels_stay_disjoint(self):
+        env, _fs, db = fresh_db()
+        self._load(db, env)
+        db.versions.current.check_invariants()
+
+    def test_all_data_readable_after_compactions(self):
+        env, _fs, db = fresh_db()
+        model = self._load(db, env)
+
+        def verify():
+            for key, value in model.items():
+                got = yield from db.get(key)
+                assert got == value, key
+
+        env.run_until(env.process(verify()))
+
+    def test_level_sizes_respect_limits_when_idle(self):
+        env, _fs, db = fresh_db()
+        self._load(db, env)
+        options = db.options
+        sizes = db.level_byte_sizes()
+        for level in range(1, len(sizes) - 1):
+            if sizes[level + 1] or sizes[level]:
+                # an idle tree holds at most ~1 victim of slack per level
+                assert sizes[level] <= options.max_bytes_for_level(level) * 1.5
+
+    def test_tombstones_reclaimed_at_bottom(self):
+        # l0_compaction_trigger=1 forces every flush down the tree, so
+        # the final compaction reaches the base level and may drop
+        # tombstones (LevelDB's IsBaseLevelForKey rule).
+        env, _fs, db = fresh_db(small_options(l0_compaction_trigger=1))
+        for i in range(300):
+            db.put_sync(b"k%06d" % i, b"x" * 64)
+        env.run_until(env.process(db.flush_all()))
+        populated = db.versions.current.total_bytes()
+        for i in range(300):
+            db.delete_sync(b"k%06d" % i)
+        env.run_until(env.process(db.flush_all()))
+        assert db.versions.current.total_bytes() < populated / 2
+
+    def test_obsolete_tables_deleted_from_fs(self):
+        env, fs, db = fresh_db()
+        self._load(db, env)
+        live = {meta.container
+                for meta in db.versions.current.live_numbers().values()}
+        on_disk = {name for name in fs.listdir("db/") if name.endswith(".ldb")}
+        assert on_disk == live
+
+    def test_write_stalls_counted_under_pressure(self):
+        env, _fs, db = fresh_db(small_options(
+            l0_compaction_trigger=1, l0_slowdown_trigger=1,
+            l0_stop_trigger=2))
+        self._load(db, env, n=1500)
+        assert db.stats.slowdown_events > 0
+
+    def test_seek_compaction_triggers(self):
+        options = small_options(enable_seek_compaction=True,
+                                seek_compaction_divisor=1 << 30)
+        env, _fs, db = fresh_db(options)
+        # Two overlapping L0 tables so misses probe 2+ tables.
+        for i in range(200):
+            db.put_sync(b"a%06d" % i, b"v" * 64)
+        env.run_until(env.process(db.flush_all()))
+        # allowed_seeks floors at 100; hammer misses within the range.
+        def reader():
+            for i in range(250):
+                yield from db.get(b"a%06d" % (i % 200))
+
+        env.run_until(env.process(reader()))
+        # Bloom filters usually answer; seek compaction needs 2+ probes
+        # of real blocks, so just assert the accounting exists.
+        assert db.stats.tables_probed > 0
+
+    def test_trivial_move_skips_rewrite(self):
+        env, fs, db = fresh_db()
+        # Sequential keys: compactions frequently find no next-level
+        # overlap, so LevelDB's trivial move must fire.
+        for i in range(3000):
+            db.put_sync(b"seq%08d" % i, b"v" * 64)
+        env.run_until(env.process(db.flush_all()))
+        assert db.stats.trivial_moves > 0
+
+
+class TestGovernors:
+    def test_l0_stop_blocks_until_compaction(self):
+        options = small_options(l0_compaction_trigger=2,
+                                l0_slowdown_trigger=2, l0_stop_trigger=3)
+        env, _fs, db = fresh_db(options)
+        for i in range(3000):
+            db.put_sync(b"user%08d" % (i * 7919 % 3000), b"x" * 64)
+        env.run_until(env.process(db.flush_all()))
+        assert db.stats.stall_events > 0
+        assert db.stats.stall_time > 0
+
+    def test_disabled_governors_never_stall_on_l0(self):
+        options = small_options(enable_l0_slowdown=False,
+                                enable_l0_stop=False)
+        env, _fs, db = fresh_db(options)
+        for i in range(1000):
+            db.put_sync(b"user%08d" % (i * 7919 % 1000), b"x" * 64)
+        env.run_until(env.process(db.flush_all()))
+        assert db.stats.slowdown_events == 0
+
+    def test_slowdown_sleep_is_1ms(self):
+        options = small_options(l0_slowdown_trigger=1, l0_stop_trigger=1000)
+        env, _fs, db = fresh_db(options)
+        for i in range(1500):
+            db.put_sync(b"user%08d" % (i * 104729 % 1500), b"x" * 64)
+        env.run_until(env.process(db.flush_all()))
+        if db.stats.slowdown_events:
+            assert db.stats.slowdown_time == pytest.approx(
+                db.stats.slowdown_events * options.slowdown_sleep)
+
+
+class TestConcurrentClients:
+    def test_interleaved_writers_all_land(self):
+        env, _fs, db = fresh_db()
+        done = []
+
+        def writer(tag, count):
+            for i in range(count):
+                yield from db.put(b"%s-%04d" % (tag, i), tag)
+            done.append(tag)
+
+        for tag in (b"alpha", b"beta", b"gamma", b"delta"):
+            env.process(writer(tag, 200))
+        env.run()
+        assert len(done) == 4
+
+        def verify():
+            for tag in (b"alpha", b"beta", b"gamma", b"delta"):
+                for i in range(200):
+                    got = yield from db.get(b"%s-%04d" % (tag, i))
+                    assert got == tag
+
+        env.run_until(env.process(verify()))
+
+    def test_reader_during_compaction_sees_consistent_data(self):
+        env, _fs, db = fresh_db()
+        errors = []
+
+        def writer():
+            for i in range(2000):
+                yield from db.put(b"user%08d" % (i % 500), b"gen-%d" % i)
+
+        def reader():
+            for _ in range(500):
+                value = yield from db.get(b"user%08d" % 42)
+                if value is not None and not value.startswith(b"gen-"):
+                    errors.append(value)
+
+        env.process(writer())
+        env.process(reader())
+        env.run()
+        assert errors == []
+
+
+class TestPropertyVsModel:
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.integers(0, 120),
+                              st.binary(min_size=1, max_size=32)),
+                    min_size=1, max_size=300))
+    def test_engine_matches_dict(self, ops):
+        env, _fs, db = fresh_db(small_options(memtable_size=4 * KB,
+                                              sstable_size=2 * KB,
+                                              level1_max_bytes=8 * KB))
+        model = {}
+
+        def apply_ops():
+            for is_put, keynum, value in ops:
+                key = b"key%04d" % keynum
+                if is_put:
+                    model[key] = value
+                    yield from db.put(key, value)
+                else:
+                    model.pop(key, None)
+                    yield from db.delete(key)
+            yield from db.flush_all()
+            for keynum in range(121):
+                key = b"key%04d" % keynum
+                got = yield from db.get(key)
+                assert got == model.get(key), key
+            scan = yield from db.scan(b"key0000", 200)
+            assert scan == sorted(model.items())[:200]
+
+        env.run_until(env.process(apply_ops()))
+
+
+class TestKill:
+    def test_kill_stops_workers_without_quiescing(self):
+        env, fs, db = fresh_db()
+        for i in range(800):
+            db.put_sync(b"user%08d" % (i * 7 % 800), b"x" * 64)
+        db.kill()
+        env.run()  # drain: workers must exit, not deadlock or raise
+        assert all(not worker.is_alive for worker in db._workers)
+
+    def test_reopen_after_kill_and_crash(self):
+        env, fs, db = fresh_db()
+        for i in range(500):
+            db.put_sync(b"key%06d" % i, b"v%d" % i)
+        env.run_until(env.process(db.flush_all()))
+        for i in range(200):
+            db.put_sync(b"late%06d" % i, b"x")
+        db.kill()
+        fs.crash(survive_probability=0.0)
+        db2 = LSMEngine.open_sync(env, fs, small_options(), "db")
+        for i in range(500):
+            assert db2.get_sync(b"key%06d" % i) == b"v%d" % i
+
+
+class TestBinaryKeys:
+    def test_arbitrary_bytes_roundtrip(self):
+        _env, _fs, db = fresh_db()
+        keys = [b"\x00", b"\x00\x00", b"\xff" * 8, bytes(range(32)),
+                b"a\x00b", b"\xfe\xff"]
+        for i, key in enumerate(keys):
+            db.put_sync(key, b"value-%d" % i)
+        for i, key in enumerate(keys):
+            assert db.get_sync(key) == b"value-%d" % i
+
+    def test_binary_keys_survive_compaction(self):
+        env, _fs, db = fresh_db()
+        import random as _random
+        rng = _random.Random(99)
+        model = {}
+        def writer():
+            for _ in range(1500):
+                key = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 12)))
+                value = bytes(rng.randrange(256) for _ in range(40))
+                model[key] = value
+                yield from db.put(key, value)
+            yield from db.flush_all()
+            for key, value in model.items():
+                got = yield from db.get(key)
+                assert got == value, key
+        env.run_until(env.process(writer()))

@@ -1,0 +1,100 @@
+"""Tests for the log-bucketed latency histogram."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.histogram import LatencyHistogram
+from repro.bench.metrics import percentile
+
+
+class TestBasics:
+    def test_empty(self):
+        hist = LatencyHistogram()
+        assert len(hist) == 0
+        assert hist.mean == 0.0
+        assert hist.percentile(99) == 0.0
+        assert hist.render() == "(empty histogram)"
+
+    def test_single_sample(self):
+        hist = LatencyHistogram()
+        hist.record(0.001)
+        assert len(hist) == 1
+        assert hist.mean == pytest.approx(0.001)
+        assert hist.min == pytest.approx(0.001)
+        assert hist.max == pytest.approx(0.001)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(min_latency=0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(min_latency=1.0, max_latency=0.5)
+
+    def test_out_of_range_clamped(self):
+        hist = LatencyHistogram(min_latency=1e-6, max_latency=1.0)
+        hist.record(1e-9)
+        hist.record(50.0)
+        assert len(hist) == 2
+        assert hist.percentile(100) <= 50.0
+
+
+class TestAccuracy:
+    def test_percentiles_within_bucket_error(self):
+        rng = random.Random(11)
+        samples = [rng.uniform(1e-5, 1e-2) for _ in range(20_000)]
+        hist = LatencyHistogram()
+        hist.record_all(samples)
+        for p in (50, 90, 99, 99.9):
+            exact = percentile(samples, p)
+            approx = hist.percentile(p)
+            # 20 buckets/decade -> ~12% max relative bucket width.
+            assert approx == pytest.approx(exact, rel=0.15)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.floats(min_value=1e-6, max_value=10.0,
+                              allow_nan=False), min_size=1, max_size=500))
+    def test_percentile_monotone_and_bounded(self, samples):
+        hist = LatencyHistogram()
+        hist.record_all(samples)
+        previous = 0.0
+        for p in (1, 25, 50, 75, 90, 99, 100):
+            value = hist.percentile(p)
+            assert value >= previous
+            previous = value
+        assert hist.percentile(100) <= max(samples) * 1.13 + 1e-9
+
+    def test_mean_exact(self):
+        hist = LatencyHistogram()
+        hist.record_all([0.001, 0.002, 0.003])
+        assert hist.mean == pytest.approx(0.002)
+
+
+class TestMerge:
+    def test_merge_equals_union(self):
+        rng = random.Random(3)
+        a_samples = [rng.uniform(1e-5, 1e-3) for _ in range(1000)]
+        b_samples = [rng.uniform(1e-4, 1e-2) for _ in range(1000)]
+        merged = LatencyHistogram()
+        merged.record_all(a_samples)
+        shard = LatencyHistogram()
+        shard.record_all(b_samples)
+        merged.merge(shard)
+        union = LatencyHistogram()
+        union.record_all(a_samples + b_samples)
+        assert len(merged) == len(union)
+        for p in (50, 90, 99):
+            assert merged.percentile(p) == pytest.approx(union.percentile(p))
+
+    def test_mismatched_bucketing_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().merge(LatencyHistogram(buckets_per_decade=10))
+
+
+class TestRender:
+    def test_render_contains_bars(self):
+        hist = LatencyHistogram()
+        hist.record_all([1e-4] * 100 + [1e-3] * 10)
+        text = hist.render(width=20)
+        assert "count=110" in text
+        assert "#" in text

@@ -1,0 +1,45 @@
+"""Tests for the top-level public API (`repro.open_database` et al.)."""
+
+import pytest
+
+import repro
+from repro import open_database
+
+
+class TestOpenDatabase:
+    def test_default_opens_bolt(self):
+        db, stack = open_database()
+        assert db.name == "bolt"
+        db.put_sync(b"k", b"v")
+        assert db.get_sync(b"k") == b"v"
+        assert stack.fs.exists("db/CURRENT")
+
+    @pytest.mark.parametrize("system", ["leveldb", "lvl64mb", "hyperleveldb",
+                                        "pebblesdb", "rocksdb", "bolt",
+                                        "hyperbolt"])
+    def test_every_registered_system_opens(self, system):
+        db, _stack = open_database(system, scale=1024)
+        db.put_sync(b"key", b"value")
+        assert db.get_sync(b"key") == b"value"
+        db.close_sync()
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(KeyError):
+            open_database("berkeleydb")
+
+    def test_scale_threads_through(self):
+        db, _stack = open_database("leveldb", scale=64)
+        assert db.options.sstable_size == (2 << 20) // 64
+
+    def test_custom_options_override(self):
+        from repro import leveldb_options
+        options = leveldb_options(256).copy(bloom_bits_per_key=14)
+        db, _stack = open_database("leveldb", options=options)
+        assert db.options.bloom_bits_per_key == 14
+
+    def test_version_exported(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name

@@ -1,0 +1,393 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import (
+    Condition,
+    CostModel,
+    CpuMeter,
+    Environment,
+    Gate,
+    Interrupt,
+    Resource,
+    SimulationError,
+)
+
+
+class TestEnvironment:
+    def test_clock_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_timeout_advances_clock(self):
+        env = Environment()
+
+        def worker():
+            yield env.timeout(2.5)
+
+        env.process(worker())
+        env.run()
+        assert env.now == 2.5
+
+    def test_run_until_limit_without_events(self):
+        env = Environment()
+        env.run(until=10.0)
+        assert env.now == 10.0
+
+    def test_events_fire_in_time_order(self):
+        env = Environment()
+        log = []
+
+        def waiter(delay, tag):
+            yield env.timeout(delay)
+            log.append(tag)
+
+        env.process(waiter(3.0, "late"))
+        env.process(waiter(1.0, "early"))
+        env.process(waiter(2.0, "middle"))
+        env.run()
+        assert log == ["early", "middle", "late"]
+
+    def test_same_time_events_fire_fifo(self):
+        env = Environment()
+        log = []
+
+        def waiter(tag):
+            yield env.timeout(1.0)
+            log.append(tag)
+
+        for tag in ("a", "b", "c"):
+            env.process(waiter(tag))
+        env.run()
+        assert log == ["a", "b", "c"]
+
+
+class TestProcess:
+    def test_return_value(self):
+        env = Environment()
+
+        def worker():
+            yield env.timeout(1.0)
+            return 41 + 1
+
+        proc = env.process(worker())
+        assert env.run_until(proc) == 42
+
+    def test_yield_from_composition(self):
+        env = Environment()
+
+        def inner():
+            yield env.timeout(1.0)
+            return "inner-value"
+
+        def outer():
+            value = yield from inner()
+            yield env.timeout(1.0)
+            return value + "!"
+
+        proc = env.process(outer())
+        assert env.run_until(proc) == "inner-value!"
+        assert env.now == 2.0
+
+    def test_exception_propagates_to_run_until(self):
+        env = Environment()
+
+        def worker():
+            yield env.timeout(1.0)
+            raise ValueError("boom")
+
+        proc = env.process(worker())
+        with pytest.raises(ValueError, match="boom"):
+            env.run_until(proc)
+
+    def test_waiting_on_failed_event_raises_inside_process(self):
+        env = Environment()
+        bad = env.event()
+
+        def worker():
+            with pytest.raises(RuntimeError, match="bad news"):
+                yield bad
+            return "survived"
+
+        proc = env.process(worker())
+        bad.fail(RuntimeError("bad news"))
+        assert env.run_until(proc) == "survived"
+
+    def test_interrupt(self):
+        env = Environment()
+
+        def sleeper():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as interrupt:
+                return f"interrupted: {interrupt.cause}"
+            return "slept"
+
+        proc = env.process(sleeper())
+
+        def interrupter():
+            yield env.timeout(1.0)
+            proc.interrupt("wake up")
+
+        env.process(interrupter())
+        assert env.run_until(proc) == "interrupted: wake up"
+        assert env.now == pytest.approx(1.0)
+
+    def test_yielding_non_event_fails_process(self):
+        env = Environment()
+
+        def worker():
+            yield 42  # not an Event
+
+        proc = env.process(worker())
+        with pytest.raises(SimulationError):
+            env.run_until(proc)
+
+    def test_deadlock_detection(self):
+        env = Environment()
+        never = env.event()
+
+        def worker():
+            yield never
+
+        proc = env.process(worker())
+        with pytest.raises(SimulationError, match="deadlock"):
+            env.run_until(proc)
+
+
+class TestEvent:
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+
+    def test_late_callback_still_runs(self):
+        env = Environment()
+        event = env.event()
+        event.succeed("v")
+        env.run()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        env.run()
+        assert seen == ["v"]
+
+    def test_all_of_collects_values_in_order(self):
+        env = Environment()
+        events = [env.timeout(3.0, "c"), env.timeout(1.0, "a"),
+                  env.timeout(2.0, "b")]
+
+        def waiter():
+            values = yield env.all_of(events)
+            return values
+
+        proc = env.process(waiter())
+        assert env.run_until(proc) == ["c", "a", "b"]
+        assert env.now == 3.0
+
+    def test_all_of_empty(self):
+        env = Environment()
+
+        def waiter():
+            values = yield env.all_of([])
+            return values
+
+        assert env.run_until(env.process(waiter())) == []
+
+    def test_any_of_returns_first(self):
+        env = Environment()
+
+        def waiter():
+            value = yield env.any_of([env.timeout(5.0, "slow"),
+                                      env.timeout(1.0, "fast")])
+            return value
+
+        proc = env.process(waiter())
+        assert env.run_until(proc) == "fast"
+        assert env.now == 1.0
+
+
+class TestResource:
+    def test_mutex_serializes(self):
+        env = Environment()
+        lock = Resource(env, 1)
+        log = []
+
+        def worker(tag):
+            yield lock.acquire()
+            log.append(f"{tag}-in@{env.now}")
+            yield env.timeout(1.0)
+            log.append(f"{tag}-out@{env.now}")
+            lock.release()
+
+        env.process(worker("a"))
+        env.process(worker("b"))
+        env.run()
+        assert log == ["a-in@0.0", "a-out@1.0", "b-in@1.0", "b-out@2.0"]
+
+    def test_fifo_ordering(self):
+        env = Environment()
+        lock = Resource(env, 1)
+        order = []
+
+        def worker(tag):
+            yield lock.acquire()
+            order.append(tag)
+            yield env.timeout(0.1)
+            lock.release()
+
+        for tag in range(5):
+            env.process(worker(tag))
+        env.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_capacity_allows_parallelism(self):
+        env = Environment()
+        pool = Resource(env, 2)
+        done_times = []
+
+        def worker():
+            yield pool.acquire()
+            yield env.timeout(1.0)
+            done_times.append(env.now)
+            pool.release()
+
+        for _ in range(4):
+            env.process(worker())
+        env.run()
+        assert done_times == [1.0, 1.0, 2.0, 2.0]
+
+    def test_release_idle_raises(self):
+        env = Environment()
+        lock = Resource(env, 1)
+        with pytest.raises(SimulationError):
+            lock.release()
+
+    def test_try_acquire(self):
+        env = Environment()
+        lock = Resource(env, 1)
+        assert lock.try_acquire()
+        assert not lock.try_acquire()
+        lock.release()
+        assert lock.try_acquire()
+
+    def test_contention_stats(self):
+        env = Environment()
+        lock = Resource(env, 1)
+
+        def worker():
+            yield lock.acquire()
+            yield env.timeout(1.0)
+            lock.release()
+
+        env.process(worker())
+        env.process(worker())
+        env.run()
+        assert lock.total_acquisitions == 2
+        assert lock.total_contended == 1
+
+
+class TestCondition:
+    def test_notify_all_wakes_everyone(self):
+        env = Environment()
+        cond = Condition(env)
+        woken = []
+
+        def waiter(tag):
+            yield cond.wait()
+            woken.append(tag)
+
+        for tag in range(3):
+            env.process(waiter(tag))
+
+        def notifier():
+            yield env.timeout(1.0)
+            cond.notify_all()
+
+        env.process(notifier())
+        env.run()
+        assert sorted(woken) == [0, 1, 2]
+
+    def test_notify_one(self):
+        env = Environment()
+        cond = Condition(env)
+        woken = []
+
+        def waiter(tag):
+            yield cond.wait()
+            woken.append(tag)
+
+        env.process(waiter("first"))
+        env.process(waiter("second"))
+
+        def notifier():
+            yield env.timeout(1.0)
+            cond.notify_one()
+
+        env.process(notifier())
+        env.run(until=10.0)
+        assert woken == ["first"]
+        assert cond.waiting == 1
+
+
+class TestGate:
+    def test_open_gate_passes_immediately(self):
+        env = Environment()
+        gate = Gate(env, open_=True)
+
+        def worker():
+            yield gate.wait()
+            return env.now
+
+        assert env.run_until(env.process(worker())) == 0.0
+
+    def test_closed_gate_blocks_until_open(self):
+        env = Environment()
+        gate = Gate(env, open_=False)
+
+        def worker():
+            yield gate.wait()
+            return env.now
+
+        proc = env.process(worker())
+
+        def opener():
+            yield env.timeout(3.0)
+            gate.open()
+
+        env.process(opener())
+        assert env.run_until(proc) == 3.0
+
+
+class TestCpuMeter:
+    def test_charges_accumulate_and_drain_once(self):
+        env = Environment()
+        meter = CpuMeter(env, CostModel())
+        meter.charge(1.0)
+        meter.charge(0.5)
+        assert meter.pending == 1.5
+
+        def worker():
+            yield from meter.drain()
+            return env.now
+
+        assert env.run_until(env.process(worker())) == 1.5
+        assert meter.pending == 0.0
+        assert meter.total_charged == 1.5
+
+    def test_charge_bytes_uses_model(self):
+        env = Environment()
+        model = CostModel(memcpy_per_byte=2.0)
+        meter = CpuMeter(env, model)
+        meter.charge_bytes(3)
+        assert meter.pending == 6.0
+
+    def test_empty_drain_takes_no_time(self):
+        env = Environment()
+        meter = CpuMeter(env, CostModel())
+
+        def worker():
+            yield from meter.drain()
+            return env.now
+
+        assert env.run_until(env.process(worker())) == 0.0

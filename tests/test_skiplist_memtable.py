@@ -1,0 +1,145 @@
+"""Unit and property tests for the SkipList and MemTable."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lsm import MemTable, SkipList
+from repro.lsm.codec import VALUE_TYPE_DELETION, VALUE_TYPE_VALUE
+from repro.lsm.memtable import DELETED, FOUND, NOT_FOUND
+
+
+class TestSkipList:
+    def test_insert_and_get(self):
+        sl = SkipList(seed=1)
+        sl.insert(b"b", 2)
+        sl.insert(b"a", 1)
+        assert sl.get(b"a") == 1
+        assert sl.get(b"b") == 2
+        assert sl.get(b"c") is None
+
+    def test_duplicate_rejected(self):
+        sl = SkipList(seed=1)
+        sl.insert(b"k", 1)
+        with pytest.raises(KeyError):
+            sl.insert(b"k", 2)
+
+    def test_iteration_is_sorted(self):
+        sl = SkipList(seed=1)
+        for key in (b"d", b"a", b"c", b"b"):
+            sl.insert(key, key)
+        assert [k for k, _v in sl] == [b"a", b"b", b"c", b"d"]
+
+    def test_seek_finds_first_at_or_after(self):
+        sl = SkipList(seed=1)
+        for key in (b"b", b"d", b"f"):
+            sl.insert(key, None)
+        assert sl.seek(b"a")[0] == b"b"
+        assert sl.seek(b"b")[0] == b"b"
+        assert sl.seek(b"c")[0] == b"d"
+        assert sl.seek(b"g") is None
+
+    def test_iter_from(self):
+        sl = SkipList(seed=1)
+        for i in range(10):
+            sl.insert(b"%02d" % i, i)
+        assert [v for _k, v in sl.iter_from(b"07")] == [7, 8, 9]
+
+    def test_contains(self):
+        sl = SkipList(seed=1)
+        sl.insert(b"x", 1)
+        assert b"x" in sl
+        assert b"y" not in sl
+
+    def test_len(self):
+        sl = SkipList(seed=1)
+        assert len(sl) == 0
+        for i in range(100):
+            sl.insert(i, i)
+        assert len(sl) == 100
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.sets(st.binary(min_size=1, max_size=16), max_size=200))
+    def test_matches_sorted_reference(self, keys):
+        sl = SkipList(seed=7)
+        for key in keys:
+            sl.insert(key, key)
+        assert [k for k, _v in sl] == sorted(keys)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sets(st.integers(0, 10_000), min_size=1, max_size=300),
+           st.integers(0, 10_000))
+    def test_seek_matches_reference(self, keys, probe):
+        sl = SkipList(seed=7)
+        for key in keys:
+            sl.insert(key, None)
+        expected = min((k for k in keys if k >= probe), default=None)
+        found = sl.seek(probe)
+        assert (found[0] if found else None) == expected
+
+
+class TestMemTable:
+    def test_put_get(self):
+        mem = MemTable(seed=1)
+        mem.add(1, VALUE_TYPE_VALUE, b"k", b"v")
+        assert mem.get(b"k") == (FOUND, b"v")
+
+    def test_missing_key(self):
+        mem = MemTable(seed=1)
+        assert mem.get(b"nope") == (NOT_FOUND, None)
+
+    def test_newest_version_wins(self):
+        mem = MemTable(seed=1)
+        mem.add(1, VALUE_TYPE_VALUE, b"k", b"old")
+        mem.add(2, VALUE_TYPE_VALUE, b"k", b"new")
+        assert mem.get(b"k") == (FOUND, b"new")
+
+    def test_tombstone_shadows(self):
+        mem = MemTable(seed=1)
+        mem.add(1, VALUE_TYPE_VALUE, b"k", b"v")
+        mem.add(2, VALUE_TYPE_DELETION, b"k", b"")
+        assert mem.get(b"k") == (DELETED, None)
+
+    def test_snapshot_reads_see_past(self):
+        mem = MemTable(seed=1)
+        mem.add(5, VALUE_TYPE_VALUE, b"k", b"v5")
+        mem.add(9, VALUE_TYPE_VALUE, b"k", b"v9")
+        assert mem.get(b"k", sequence=5) == (FOUND, b"v5")
+        assert mem.get(b"k", sequence=8) == (FOUND, b"v5")
+        assert mem.get(b"k", sequence=9) == (FOUND, b"v9")
+        assert mem.get(b"k", sequence=4) == (NOT_FOUND, None)
+
+    def test_entries_ordered_by_internal_key(self):
+        mem = MemTable(seed=1)
+        mem.add(1, VALUE_TYPE_VALUE, b"b", b"1")
+        mem.add(3, VALUE_TYPE_VALUE, b"a", b"3")
+        mem.add(2, VALUE_TYPE_VALUE, b"a", b"2")
+        entries = list(mem.entries())
+        # user key ascending; within a key, newest (highest seq) first
+        assert [(k, s) for k, s, _t, _v in entries] == [
+            (b"a", 3), (b"a", 2), (b"b", 1)]
+
+    def test_memory_accounting_grows(self):
+        mem = MemTable(seed=1)
+        before = mem.approximate_memory_usage
+        mem.add(1, VALUE_TYPE_VALUE, b"key", b"x" * 1000)
+        assert mem.approximate_memory_usage >= before + 1000
+
+    def test_entries_from(self):
+        mem = MemTable(seed=1)
+        for i, key in enumerate((b"a", b"b", b"c")):
+            mem.add(i + 1, VALUE_TYPE_VALUE, key, key)
+        keys = [k for k, _s, _t, _v in mem.entries_from(b"b")]
+        assert keys == [b"b", b"c"]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.binary(min_size=1, max_size=8),
+                              st.binary(max_size=8)),
+                    min_size=1, max_size=100))
+    def test_matches_dict_model(self, ops):
+        mem = MemTable(seed=7)
+        model = {}
+        for seq, (key, value) in enumerate(ops, start=1):
+            mem.add(seq, VALUE_TYPE_VALUE, key, value)
+            model[key] = value
+        for key, value in model.items():
+            assert mem.get(key) == (FOUND, value)

@@ -1,0 +1,258 @@
+"""Unit tests for Version bookkeeping and MANIFEST machinery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lsm import FileMetaData, Options, Version, VersionEdit, VersionSet
+from repro.lsm.wal import read_log_records
+
+
+def meta(number, smallest, largest, length=1000, container=None, offset=0):
+    return FileMetaData(number=number, container=container or f"{number}.ldb",
+                        offset=offset, length=length,
+                        smallest=smallest, largest=largest)
+
+
+class TestFileMetaData:
+    def test_overlap_cases(self):
+        m = meta(1, b"d", b"m")
+        assert m.overlaps(b"a", b"e")
+        assert m.overlaps(b"f", b"g")
+        assert m.overlaps(b"m", b"z")
+        assert not m.overlaps(b"a", b"c")
+        assert not m.overlaps(b"n", b"z")
+
+    def test_open_ranges(self):
+        m = meta(1, b"d", b"m")
+        assert m.overlaps(None, b"e")
+        assert m.overlaps(b"e", None)
+        assert m.overlaps(None, None)
+        assert not m.overlaps(None, b"c")
+        assert not m.overlaps(b"n", None)
+
+
+class TestVersion:
+    def test_level0_keeps_insertion_by_number(self):
+        v = Version(3)
+        v.add_file(0, meta(5, b"a", b"z"))
+        v.add_file(0, meta(3, b"a", b"z"))
+        assert [f.number for f in v.files[0]] == [3, 5]
+
+    def test_deeper_levels_sorted_by_smallest(self):
+        v = Version(3)
+        v.add_file(1, meta(1, b"m", b"p"))
+        v.add_file(1, meta(2, b"a", b"c"))
+        v.add_file(1, meta(3, b"e", b"g"))
+        assert [f.smallest for f in v.files[1]] == [b"a", b"e", b"m"]
+
+    def test_tables_for_key_level0_newest_first(self):
+        v = Version(3)
+        v.add_file(0, meta(1, b"a", b"m"))
+        v.add_file(0, meta(2, b"c", b"z"))
+        v.add_file(0, meta(3, b"x", b"z"))
+        hits = v.tables_for_key(0, b"d")
+        assert [f.number for f in hits] == [2, 1]
+
+    def test_tables_for_key_binary_search(self):
+        v = Version(3)
+        v.add_file(1, meta(1, b"a", b"c"))
+        v.add_file(1, meta(2, b"e", b"g"))
+        v.add_file(1, meta(3, b"i", b"k"))
+        assert [f.number for f in v.tables_for_key(1, b"f")] == [2]
+        assert v.tables_for_key(1, b"d") == []
+        assert v.tables_for_key(1, b"z") == []
+
+    def test_overlapping_files_simple(self):
+        v = Version(3)
+        v.add_file(1, meta(1, b"a", b"c"))
+        v.add_file(1, meta(2, b"e", b"g"))
+        v.add_file(1, meta(3, b"i", b"k"))
+        hits = v.overlapping_files(1, b"b", b"f")
+        assert [f.number for f in hits] == [1, 2]
+
+    def test_level0_transitive_expansion(self):
+        """§2.1: one L0 table can transitively pull in all the others."""
+        v = Version(3)
+        v.add_file(0, meta(1, b"a", b"e"))
+        v.add_file(0, meta(2, b"d", b"j"))
+        v.add_file(0, meta(3, b"i", b"p"))
+        v.add_file(0, meta(4, b"x", b"z"))
+        hits = v.overlapping_files(0, b"a", b"b")
+        assert sorted(f.number for f in hits) == [1, 2, 3]
+
+    def test_remove_file(self):
+        v = Version(3)
+        v.add_file(1, meta(1, b"a", b"c"))
+        assert v.remove_file(1, 1)
+        assert not v.remove_file(1, 1)
+        assert v.files[1] == []
+
+    def test_byte_and_count_accounting(self):
+        v = Version(3)
+        v.add_file(1, meta(1, b"a", b"c", length=100))
+        v.add_file(1, meta(2, b"e", b"g", length=250))
+        assert v.level_bytes(1) == 350
+        assert v.num_files(1) == 2
+        assert v.total_bytes() == 350
+        assert v.deepest_nonempty_level() == 1
+
+    def test_invariant_checker_catches_overlap(self):
+        v = Version(3)
+        v.add_file(1, meta(1, b"a", b"f"))
+        v.add_file(1, meta(2, b"d", b"k"))
+        with pytest.raises(AssertionError):
+            v.check_invariants()
+
+    def test_clone_is_independent(self):
+        v = Version(3)
+        v.add_file(1, meta(1, b"a", b"c"))
+        clone = v.clone()
+        clone.remove_file(1, 1)
+        assert v.num_files(1) == 1
+        assert clone.num_files(1) == 0
+
+
+class TestVersionEdit:
+    def test_roundtrip_full(self):
+        edit = VersionEdit()
+        edit.log_number = 7
+        edit.next_file_number = 42
+        edit.last_sequence = 12345
+        edit.set_compact_pointer(2, b"pointer-key")
+        edit.delete_file(1, 9)
+        edit.add_file(2, meta(10, b"aa", b"zz", length=555,
+                              container="c.cf", offset=4096))
+        edit.add_guard(3, b"guard-key")
+        decoded = VersionEdit.decode(edit.encode())
+        assert decoded.log_number == 7
+        assert decoded.next_file_number == 42
+        assert decoded.last_sequence == 12345
+        assert decoded.compact_pointers == [(2, b"pointer-key")]
+        assert decoded.deleted_files == [(1, 9)]
+        level, m = decoded.new_files[0]
+        assert level == 2 and m.number == 10
+        assert m.container == "c.cf" and m.offset == 4096 and m.length == 555
+        assert m.smallest == b"aa" and m.largest == b"zz"
+        assert decoded.new_guards == [(3, b"guard-key")]
+
+    def test_empty_edit(self):
+        decoded = VersionEdit.decode(VersionEdit().encode())
+        assert decoded.new_files == [] and decoded.deleted_files == []
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 6), st.integers(1, 10 ** 6),
+                              st.binary(min_size=1, max_size=8),
+                              st.binary(min_size=1, max_size=8)),
+                    max_size=20))
+    def test_new_files_roundtrip_property(self, files):
+        edit = VersionEdit()
+        for level, number, k1, k2 in files:
+            lo, hi = min(k1, k2), max(k1, k2)
+            edit.add_file(level, meta(number, lo, hi))
+        decoded = VersionEdit.decode(edit.encode())
+        assert len(decoded.new_files) == len(files)
+        for (level, number, k1, k2), (dl, dm) in zip(files, decoded.new_files):
+            assert dl == level and dm.number == number
+
+
+class TestVersionSet:
+    def _vs(self, env, fs, run):
+        options = Options()
+        vs = VersionSet(env, fs, options, "db")
+        run(vs.create_new())
+        return vs
+
+    def test_create_writes_current_and_manifest(self, env, fs, run):
+        self._vs(env, fs, run)
+        assert fs.exists("db/CURRENT")
+        assert fs.exists("db/MANIFEST-000001")
+
+    def test_log_and_apply_fsyncs_manifest(self, env, fs, run):
+        vs = self._vs(env, fs, run)
+        barriers = fs.stats.num_barrier_calls
+        edit = VersionEdit()
+        edit.add_file(0, meta(10, b"a", b"z"))
+        run(vs.log_and_apply(edit))
+        assert fs.stats.num_barrier_calls == barriers + 1
+        assert vs.current.num_files(0) == 1
+
+    def test_recover_rebuilds_state(self, env, fs, run):
+        vs = self._vs(env, fs, run)
+        edit = VersionEdit()
+        edit.add_file(1, meta(10, b"a", b"m", length=123))
+        edit.add_file(1, meta(11, b"n", b"z", length=456))
+        run(vs.log_and_apply(edit))
+        edit2 = VersionEdit()
+        edit2.delete_file(1, 10)
+        vs.last_sequence = 999
+        run(vs.log_and_apply(edit2))
+
+        vs2 = VersionSet(env, fs, Options(), "db")
+        run(vs2.recover())
+        assert [f.number for f in vs2.current.files[1]] == [11]
+        assert vs2.last_sequence == 999
+        assert vs2.next_file_number >= 12
+
+    def test_recover_rolls_manifest(self, env, fs, run):
+        vs = self._vs(env, fs, run)
+        old_manifest = f"db/MANIFEST-{vs.manifest_file_number:06d}"
+        vs2 = VersionSet(env, fs, Options(), "db")
+        run(vs2.recover())
+        assert vs2.manifest_file_number != vs.manifest_file_number
+        assert not fs.exists(old_manifest)
+        assert fs.exists(f"db/MANIFEST-{vs2.manifest_file_number:06d}")
+
+    def test_unsynced_edit_lost_after_crash(self, env, fs, run):
+        """The MANIFEST is the commit mark: an edit whose fsync never
+        completed must vanish on recovery (§2.4)."""
+        vs = self._vs(env, fs, run)
+        edit = VersionEdit()
+        edit.add_file(0, meta(10, b"a", b"z"))
+        # Append the record without the barrier (simulate pre-fsync crash).
+        edit.next_file_number = vs.next_file_number
+        edit.last_sequence = vs.last_sequence
+        edit.log_number = vs.log_number
+        vs._manifest_writer.append(edit.encode())
+        fs.crash(survive_probability=0.0)
+        vs2 = VersionSet(env, fs, Options(), "db")
+        run(vs2.recover())
+        assert vs2.current.num_files(0) == 0
+
+    def test_synced_edit_survives_crash(self, env, fs, run):
+        vs = self._vs(env, fs, run)
+        edit = VersionEdit()
+        edit.add_file(0, meta(10, b"a", b"z"))
+        run(vs.log_and_apply(edit))
+        fs.crash(survive_probability=0.0)
+        vs2 = VersionSet(env, fs, Options(), "db")
+        run(vs2.recover())
+        assert vs2.current.num_files(0) == 1
+
+    def test_level_scores(self, env, fs, run):
+        vs = self._vs(env, fs, run)
+        for i in range(8):
+            edit = VersionEdit()
+            edit.add_file(0, meta(100 + i, b"a", b"z"))
+            run(vs.log_and_apply(edit))
+        assert vs.level_score(0) == pytest.approx(
+            8 / vs.options.l0_compaction_trigger)
+        level, score = vs.pick_compaction_level()
+        assert level == 0 and score > 1.0
+
+    def test_l0_unit_count_by_container(self, env, fs, run):
+        options = Options(use_compaction_file=True)
+        vs = VersionSet(env, fs, options, "db")
+        run(vs.create_new())
+        edit = VersionEdit()
+        for i in range(6):
+            edit.add_file(0, meta(10 + i, b"a", b"z",
+                                  container="db/000009.cf", offset=i * 100))
+        run(vs.log_and_apply(edit))
+        assert vs.current.num_files(0) == 6
+        assert vs.l0_unit_count() == 1  # one flush container
+
+    def test_file_numbers_monotonic(self, env, fs, run):
+        vs = self._vs(env, fs, run)
+        numbers = [vs.new_file_number() for _ in range(5)]
+        assert numbers == sorted(numbers)
+        assert len(set(numbers)) == 5

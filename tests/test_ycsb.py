@@ -1,0 +1,194 @@
+"""Tests for the YCSB workload generator and client driver."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ycsb import (
+    KEY_SIZE,
+    WORKLOADS,
+    RUN_ORDER,
+    WorkloadRunner,
+    WorkloadSpec,
+    build_key,
+    fnv_hash64,
+    run_operations,
+)
+from repro.ycsb.distributions import (
+    InsertCounter,
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+
+
+class TestKeys:
+    def test_key_is_23_bytes(self):
+        """§4.1: YCSB keys are 23 bytes."""
+        assert len(build_key(0)) == KEY_SIZE
+        assert len(build_key(10 ** 12)) == KEY_SIZE
+
+    def test_keys_unique(self):
+        keys = {build_key(i) for i in range(10_000)}
+        assert len(keys) == 10_000
+
+    def test_fnv_deterministic(self):
+        assert fnv_hash64(12345) == fnv_hash64(12345)
+        assert fnv_hash64(1) != fnv_hash64(2)
+
+    def test_unhashed_keys_are_ordered(self):
+        keys = [build_key(i, hashed=False) for i in range(100)]
+        assert keys == sorted(keys)
+
+
+class TestDistributions:
+    def test_uniform_covers_range(self):
+        gen = UniformGenerator(100, random.Random(1))
+        seen = {gen.next() for _ in range(5000)}
+        assert min(seen) >= 0 and max(seen) < 100
+        assert len(seen) > 90
+
+    def test_zipfian_is_skewed(self):
+        gen = ZipfianGenerator(10_000, rng=random.Random(1))
+        counts = Counter(gen.next() for _ in range(20_000))
+        top_share = sum(v for k, v in counts.items() if k < 100) / 20_000
+        assert top_share > 0.4  # theta=0.99: the head dominates
+
+    def test_zipfian_in_range(self):
+        gen = ZipfianGenerator(50, rng=random.Random(2))
+        assert all(0 <= gen.next() < 50 for _ in range(2000))
+
+    def test_scrambled_zipfian_spreads_hotspots(self):
+        gen = ScrambledZipfianGenerator(10_000, rng=random.Random(1))
+        counts = Counter(gen.next() for _ in range(20_000))
+        hot = [k for k, _ in counts.most_common(10)]
+        # Hot keys are scattered, not clustered at rank 0.
+        assert max(hot) > 1000
+
+    def test_latest_prefers_recent(self):
+        counter = InsertCounter(10_000)
+        gen = LatestGenerator(counter, rng=random.Random(1))
+        samples = [gen.next() for _ in range(5000)]
+        recent = sum(1 for s in samples if s >= 9000) / len(samples)
+        assert recent > 0.5
+
+    def test_latest_tracks_growth(self):
+        counter = InsertCounter(100)
+        gen = LatestGenerator(counter, rng=random.Random(1))
+        for _ in range(900):
+            counter.next_key()
+        samples = [gen.next() for _ in range(2000)]
+        assert max(samples) > 500  # sees the new records
+
+    def test_item_count_must_be_positive(self):
+        with pytest.raises(ValueError):
+            UniformGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+
+
+class TestWorkloadSpecs:
+    def test_canonical_mixes(self):
+        assert WORKLOADS["a"].read_prop == 0.5
+        assert WORKLOADS["b"].read_prop == 0.95
+        assert WORKLOADS["c"].read_prop == 1.0
+        assert WORKLOADS["d"].request_dist == "latest"
+        assert WORKLOADS["e"].scan_prop == 0.95
+        assert WORKLOADS["f"].rmw_prop == 0.5
+        assert WORKLOADS["load_a"].is_load and WORKLOADS["load_e"].is_load
+
+    def test_run_order_matches_paper(self):
+        assert RUN_ORDER == ("load_a", "a", "b", "c", "f", "d",
+                             "delete", "load_e", "e")
+
+    def test_bad_proportions_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("broken", read_prop=0.5).validate()
+
+    def test_with_distribution(self):
+        uniform_a = WORKLOADS["a"].with_distribution("uniform")
+        assert uniform_a.request_dist == "uniform"
+        assert WORKLOADS["a"].request_dist == "zipfian"
+
+
+class TestWorkloadRunner:
+    def test_load_emits_only_inserts(self):
+        runner = WorkloadRunner(WORKLOADS["load_a"], 0, value_size=100)
+        ops = list(runner.operations(500))
+        assert all(kind == "insert" for kind, _k, _v in ops)
+        assert len({key for _k, key, _v in ops}) == 500
+
+    def test_mix_close_to_spec(self):
+        runner = WorkloadRunner(WORKLOADS["a"], 10_000, seed=3)
+        kinds = Counter(kind for kind, _k, _v in runner.operations(4000))
+        assert 0.4 < kinds["read"] / 4000 < 0.6
+        assert 0.4 < kinds["update"] / 4000 < 0.6
+
+    def test_scan_lengths_bounded(self):
+        runner = WorkloadRunner(WORKLOADS["e"], 10_000, seed=3)
+        for kind, _key, payload in runner.operations(2000):
+            if kind == "scan":
+                assert 1 <= payload <= WORKLOADS["e"].max_scan_len
+
+    def test_values_have_requested_size(self):
+        runner = WorkloadRunner(WORKLOADS["load_a"], 0, value_size=1024)
+        for _kind, _key, value in runner.operations(10):
+            assert len(value) == 1024
+
+    def test_deterministic_with_seed(self):
+        ops1 = list(WorkloadRunner(WORKLOADS["a"], 1000, seed=9).operations(100))
+        ops2 = list(WorkloadRunner(WORKLOADS["a"], 1000, seed=9).operations(100))
+        assert ops1 == ops2
+
+    def test_inserts_extend_counter(self):
+        counter = InsertCounter(100)
+        runner = WorkloadRunner(WORKLOADS["d"], 100, seed=1,
+                                insert_counter=counter)
+        list(runner.operations(1000))
+        assert counter.count > 100
+
+    def test_request_keys_within_loaded_range(self):
+        runner = WorkloadRunner(WORKLOADS["c"], 500, seed=2)
+        loaded = {build_key(i) for i in range(500)}
+        for _kind, key, _v in runner.operations(1000):
+            assert key in loaded
+
+
+class TestClientDriver:
+    def test_four_clients_run_all_ops(self, env, fs, run):
+        from repro.lsm import LSMEngine, Options
+        db = LSMEngine.open_sync(env, fs, Options(
+            memtable_size=32 << 10, sstable_size=8 << 10,
+            level1_max_bytes=32 << 10), "db")
+        runner = WorkloadRunner(WORKLOADS["load_a"], 0, value_size=64)
+        ops = list(runner.operations(400))
+        recorder = run(run_operations(env, db, ops, num_clients=4))
+        assert recorder.count("insert") == 400
+        assert db.stats.puts == 400
+
+    def test_latencies_are_positive_virtual_times(self, env, fs, run):
+        from repro.lsm import LSMEngine, Options
+        db = LSMEngine.open_sync(env, fs, Options(
+            memtable_size=32 << 10, sstable_size=8 << 10,
+            level1_max_bytes=32 << 10), "db")
+        runner = WorkloadRunner(WORKLOADS["load_a"], 0, value_size=64)
+        ops = list(runner.operations(100))
+        recorder = run(run_operations(env, db, ops, num_clients=2))
+        samples = recorder.samples("insert")
+        assert len(samples) == 100
+        assert all(s >= 0 for s in samples)
+        assert any(s > 0 for s in samples)
+
+    def test_rmw_reads_then_writes(self, env, fs, run):
+        from repro.lsm import LSMEngine, Options
+        db = LSMEngine.open_sync(env, fs, Options(
+            memtable_size=32 << 10, sstable_size=8 << 10,
+            level1_max_bytes=32 << 10), "db")
+        db.put_sync(build_key(0), b"orig")
+        ops = [("rmw", build_key(0), b"modified")]
+        run(run_operations(env, db, ops, num_clients=1))
+        assert db.get_sync(build_key(0)) == b"modified"
+        assert db.stats.gets >= 1
