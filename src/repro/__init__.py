@@ -12,7 +12,9 @@ The package builds, from scratch, every system the paper touches:
   settled compaction, FD cache (:mod:`repro.core`);
 * the YCSB workload generator (:mod:`repro.ycsb`) and a benchmark
   harness regenerating every figure of the evaluation
-  (:mod:`repro.bench`).
+  (:mod:`repro.bench`);
+* span tracing, counters and Chrome-trace export for the whole
+  simulated stack (:mod:`repro.obs`).
 
 Quickstart::
 
@@ -51,6 +53,8 @@ from .engines import (
     rocksdb_options,
 )
 from .lsm import LSMEngine, Options, WriteBatch
+from .obs import (MetricsRegistry, NULL_TRACER, Tracer, phase_summary,
+                  write_chrome_trace)
 from .sim import Environment
 from .storage import BlockDevice, DeviceProfile, PageCache, SATA_SSD, SimFS
 
@@ -79,6 +83,11 @@ __all__ = [
     "LSMEngine",
     "Options",
     "WriteBatch",
+    "Tracer",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "phase_summary",
+    "write_chrome_trace",
     "Environment",
     "BlockDevice",
     "DeviceProfile",

@@ -11,7 +11,7 @@ from .harness import (
     run_suite,
 )
 from .metrics import LatencyRecorder, PhaseResult, percentile
-from .report import format_markdown_table, format_table
+from .report import format_markdown_table, format_table, unified_snapshot
 from . import experiments
 
 __all__ = [
@@ -28,5 +28,6 @@ __all__ = [
     "percentile",
     "format_markdown_table",
     "format_table",
+    "unified_snapshot",
     "experiments",
 ]

@@ -30,6 +30,7 @@ from ..engines import (
     rocksdb_options,
 )
 from ..lsm import LSMEngine, Options
+from ..obs import Tracer, write_chrome_trace
 from ..sim import Environment, Event
 from ..storage import BlockDevice, DeviceProfile, PageCache, SATA_SSD, SimFS
 from ..ycsb import RUN_ORDER, WORKLOADS, run_phase
@@ -124,18 +125,20 @@ class BenchConfig:
 
 @dataclass
 class Stack:
-    """One simulated machine: clock, device, filesystem."""
+    """One simulated machine: clock, device, filesystem (+ tracer)."""
 
     env: Environment
     device: BlockDevice
     fs: SimFS
+    #: The :mod:`repro.obs` tracer observing this machine, if any.
+    tracer: Optional[Tracer] = None
 
 
-def new_stack(config: BenchConfig) -> Stack:
-    env = Environment()
+def new_stack(config: BenchConfig, tracer: Optional[Tracer] = None) -> Stack:
+    env = Environment(tracer=tracer)
     device = BlockDevice(env, config.resolved_device())
     fs = SimFS(env, device, PageCache(config.resolved_page_cache_bytes()))
-    return Stack(env, device, fs)
+    return Stack(env, device, fs, tracer)
 
 
 def open_engine(stack: Stack, system: SystemSpec, config: BenchConfig,
@@ -200,7 +203,9 @@ def load_database(stack: Stack, db: LSMEngine, config: BenchConfig,
 def run_suite(system: SystemSpec, config: BenchConfig,
               workloads: Tuple[str, ...] = RUN_ORDER,
               request_dist: str = "zipfian",
-              options: Optional[Options] = None) -> Dict[str, PhaseResult]:
+              options: Optional[Options] = None,
+              trace: Optional[Any] = None,
+              tracer: Optional[Tracer] = None) -> Dict[str, PhaseResult]:
     """Run a full YCSB suite for one system, in the paper's §4.1 order.
 
     ``request_dist`` overrides the request distribution of the run
@@ -209,11 +214,20 @@ def run_suite(system: SystemSpec, config: BenchConfig,
     driven to completion on the stack's own event loop; the ``delete``
     marker rebuilds a fresh stack, as the paper deletes the database
     between workloads D and Load E.
+
+    ``trace`` names a file (path or writable object) that receives a
+    Chrome trace-event JSON of the whole suite, loadable in Perfetto.
+    Pass ``tracer`` instead to observe with your own
+    :class:`~repro.obs.Tracer` (and optionally still export via
+    ``trace``).  The tracer survives the ``delete`` rebuild: its clock
+    offset keeps phases from different stacks in one timeline.
     """
     opts = options
+    if trace is not None and tracer is None:
+        tracer = Tracer()
 
     def fresh_db() -> Tuple[Stack, LSMEngine]:
-        stack = new_stack(config)
+        stack = new_stack(config, tracer=tracer)
         db = system.engine_cls.open_sync(
             stack.env, stack.fs,
             opts if opts is not None else system.options(config.scale), "db")
@@ -238,6 +252,9 @@ def run_suite(system: SystemSpec, config: BenchConfig,
         dev_before = stack.device.stats.snapshot()
         stats_before = db.stats.snapshot()
         started = stack.env.now
+        if tracer is not None and tracer.enabled:
+            tracer.instant("phase-start", cat="bench", track="main",
+                           phase=phase, system=db.name)
         phase_proc = stack.env.process(run_phase(
             stack.env, db, spec, num_ops, max(1, counter.count),
             value_size=config.value_size, num_clients=config.num_clients,
@@ -250,4 +267,6 @@ def run_suite(system: SystemSpec, config: BenchConfig,
             fs_before, dev_before, stats_before,
             record_bytes=23 + config.value_size)
     db.close_sync()
+    if trace is not None:
+        write_chrome_trace(tracer, trace)
     return results

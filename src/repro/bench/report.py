@@ -1,10 +1,12 @@
-"""Plain-text table rendering for benchmark output and EXPERIMENTS.md."""
+"""Plain-text table rendering for benchmark output and EXPERIMENTS.md,
+plus :func:`unified_snapshot` — the single merged view of every counter
+a simulated stack produces (engine, filesystem, device, obs metrics)."""
 
 from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-__all__ = ["format_table", "format_markdown_table"]
+__all__ = ["format_table", "format_markdown_table", "unified_snapshot"]
 
 
 def _stringify(value) -> str:
@@ -38,6 +40,45 @@ def format_table(rows: Sequence[Dict[str, object]],
         lines.append("  ".join(cell.ljust(widths[i])
                                for i, cell in enumerate(row)))
     return "\n".join(lines)
+
+
+def unified_snapshot(stack, db=None,
+                     tracer=None) -> Dict[str, Dict[str, float]]:
+    """Merge every counter in a simulated stack into one nested dict.
+
+    Figures, ``dbbench stats`` and trace summaries should all read from
+    this so they can never disagree.  Sections:
+
+    * ``clock``   — the virtual time of the snapshot
+    * ``device``  — :class:`~repro.storage.DeviceStats` fields
+    * ``fs``      — :class:`~repro.storage.FSStats` fields plus the
+      derived ``num_barrier_calls`` (the paper's headline count)
+    * ``engine``  — :class:`~repro.lsm.engine.EngineStats` fields plus
+      cache hit ratios (only when ``db`` is given)
+    * ``metrics`` — the :class:`~repro.obs.MetricsRegistry` counters and
+      gauges (only when a tracer with metrics observes the stack)
+
+    ``stack`` is anything with ``env``/``device``/``fs`` attributes (the
+    harness's :class:`~repro.bench.harness.Stack`); ``tracer`` defaults
+    to the one installed on ``stack.env``.
+    """
+    fs_stats = stack.fs.stats
+    snap: Dict[str, Dict[str, float]] = {
+        "clock": {"virtual_seconds": stack.env.now},
+        "device": dict(vars(stack.device.stats.snapshot())),
+        "fs": dict(vars(fs_stats.snapshot())),
+    }
+    snap["fs"]["num_barrier_calls"] = fs_stats.num_barrier_calls
+    if db is not None:
+        engine: Dict[str, float] = dict(vars(db.stats.snapshot()))
+        engine["table_cache_hit_ratio"] = db.table_cache.hit_ratio
+        engine["block_cache_hit_ratio"] = db.block_cache.hit_ratio
+        snap["engine"] = engine
+    if tracer is None:
+        tracer = getattr(stack.env, "tracer", None)
+    if tracer is not None and getattr(tracer, "enabled", False):
+        snap["metrics"] = tracer.metrics.snapshot()
+    return snap
 
 
 def format_markdown_table(rows: Sequence[Dict[str, object]]) -> str:

@@ -149,6 +149,7 @@ class BoLTMixin:
         for meta in self.versions.current.live_numbers().values():
             live_containers[meta.container] = live_containers.get(
                 meta.container, 0) + 1
+        tracer = self.env.tracer
         punched_any = False
         for meta in metas:
             if not self.fs.exists(meta.container):
@@ -156,10 +157,15 @@ class BoLTMixin:
             if live_containers.get(meta.container, 0) == 0:
                 if self.fd_cache is not None:
                     self.fd_cache.evict(meta.container)
+                if tracer.enabled:
+                    tracer.count("bolt.containers_unlinked")
                 yield from self.fs.unlink(meta.container)
             else:
                 handle = yield from self._container_handle(meta.container)
                 handle.punch_hole(meta.offset, meta.length)
+                if tracer.enabled:
+                    tracer.count("bolt.tables_punched")
+                    tracer.count("bolt.bytes_punched", meta.length)
                 punched_any = True
         if punched_any:
             # §3.2: no fsync/fdatasync when punching holes — the lazy

@@ -42,9 +42,14 @@ class FileDescriptorCache:
         """Return a handle for ``name``, paying the metadata cost only
         on a cache miss.  Matches the ``TableCache.open_container``
         hook signature."""
+        tracer = self.fs.env.tracer
         handle = self._cache.get(name)
         if handle is not None:
+            if tracer.enabled:
+                tracer.count("fd_cache.hit")
             return handle
+        if tracer.enabled:
+            tracer.count("fd_cache.miss")
         handle = yield from self.fs.open(name)
         self._cache.put(name, handle)
         return handle

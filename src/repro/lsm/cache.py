@@ -18,7 +18,7 @@ from collections import OrderedDict
 from typing import Any, Callable, Generator, Hashable, Optional, Tuple
 
 from ..sim import CpuMeter, Event
-from ..storage import FileHandle, SimFS
+from ..storage import SimFS
 from .options import Options
 from .sstable import SSTableReader
 

@@ -177,6 +177,10 @@ class LSMEngine:
         self.options = options
         self.dbname = dbname
         self.stats = EngineStats()
+        if options.tracer is not None:
+            # Observability is stack-wide: installing the tracer on the
+            # environment lets the device/filesystem layers see it too.
+            env.tracer = options.tracer
 
         self.versions = VersionSet(env, fs, options, dbname)
         self.table_cache = TableCache(fs, options)
@@ -342,7 +346,9 @@ class LSMEngine:
                 self.stats.slowdown_events += 1
                 self.stats.slowdown_time += opts.slowdown_sleep
                 self._mutex.release()
-                yield self.env.timeout(opts.slowdown_sleep)
+                with self.env.tracer.span("slowdown", cat="engine",
+                                          l0_files=l0_files):
+                    yield self.env.timeout(opts.slowdown_sleep)
                 yield self._mutex.acquire()
             elif self._memtable.approximate_memory_usage <= opts.memtable_size:
                 return
@@ -360,13 +366,14 @@ class LSMEngine:
                 yield from self._new_wal()
                 self._bg_work.notify_all()
 
-    def _stall(self, _why: str) -> Generator[Event, Any, None]:
+    def _stall(self, why: str) -> Generator[Event, Any, None]:
         self.stats.stall_events += 1
         started = self.env.now
         waiter = self._bg_done.wait()
         self._bg_work.notify_all()
         self._mutex.release()
-        yield waiter
+        with self.env.tracer.span("stall", cat="engine", why=why):
+            yield waiter
         self.stats.stall_time += self.env.now - started
         yield self._mutex.acquire()
 
@@ -629,29 +636,33 @@ class LSMEngine:
         imm = self._imm
         meter = self._bg_meter()
         started = self.env.now
-        entries = collapse_versions(imm.entries(), drop_tombstones=False,
-                                    snapshots=self.live_snapshot_sequences())
-        sink = self._make_sink()
-        # Stock LevelDB writes the whole MemTable as ONE level-0 table
-        # (sstable_size governs compaction outputs only); BoLT cuts the
-        # flush into fine-grained logical SSTables inside one compaction
-        # file (§3.2) — same barrier count either way for BoLT's sink.
-        max_bytes = (self.options.sstable_size
-                     if self.options.use_compaction_file else None)
-        metas = yield from self._build_tables(entries, sink, meter,
-                                              max_table_bytes=max_bytes)
-        edit = VersionEdit()
-        edit.log_number = self._wal_number
-        for meta in metas:
-            edit.add_file(0, meta)
-        yield from self.versions.log_and_apply(edit, meter)
-        self._imm = None
-        self.stats.memtable_flushes += 1
-        self.stats.compaction_time += self.env.now - started
-        old_wal = self._imm_wal_name
-        self._imm_wal_name = None
-        if old_wal and self.fs.exists(old_wal):
-            yield from self.fs.unlink(old_wal)
+        with self.env.tracer.span("flush", cat="engine",
+                                  memtable_bytes=imm.approximate_memory_usage
+                                  ) as span:
+            entries = collapse_versions(imm.entries(), drop_tombstones=False,
+                                        snapshots=self.live_snapshot_sequences())
+            sink = self._make_sink()
+            # Stock LevelDB writes the whole MemTable as ONE level-0 table
+            # (sstable_size governs compaction outputs only); BoLT cuts the
+            # flush into fine-grained logical SSTables inside one compaction
+            # file (§3.2) — same barrier count either way for BoLT's sink.
+            max_bytes = (self.options.sstable_size
+                         if self.options.use_compaction_file else None)
+            metas = yield from self._build_tables(entries, sink, meter,
+                                                  max_table_bytes=max_bytes)
+            edit = VersionEdit()
+            edit.log_number = self._wal_number
+            for meta in metas:
+                edit.add_file(0, meta)
+            yield from self.versions.log_and_apply(edit, meter)
+            self._imm = None
+            self.stats.memtable_flushes += 1
+            self.stats.compaction_time += self.env.now - started
+            old_wal = self._imm_wal_name
+            self._imm_wal_name = None
+            if old_wal and self.fs.exists(old_wal):
+                yield from self.fs.unlink(old_wal)
+            span.set(tables=len(metas))
         self._maybe_schedule_more()
 
     def _maybe_schedule_more(self) -> None:
@@ -733,7 +744,19 @@ class LSMEngine:
         self.stats.group_victims += len(compaction.victims)
         version = self.versions.current
         meter = self._bg_meter()
+        span_ctx = self.env.tracer.span(
+            "compaction", cat="engine", level=compaction.level,
+            victims=len(compaction.victims), overlaps=len(compaction.overlaps),
+            seek=compaction.is_seek_compaction)
+        with span_ctx as span:
+            yield from self._run_compaction_traced(compaction, version,
+                                                   meter, span)
+        self.stats.compaction_time += self.env.now - started
+        self._maybe_schedule_more()
 
+    def _run_compaction_traced(self, compaction: Compaction, version: Version,
+                               meter: CpuMeter, span: Any
+                               ) -> Generator[Event, Any, None]:
         # Settled / trivial-move classification (hook; stock engines only
         # promote the classic single-victim trivial move).
         settled, merge_victims = self._split_settled(compaction)
@@ -803,8 +826,14 @@ class LSMEngine:
 
         discarded = list(merge_victims) + merge_overlaps
         self._schedule_cleanup(discarded)
-        self.stats.compaction_time += self.env.now - started
-        self._maybe_schedule_more()
+        span.set(outputs=len(output_metas), settled=len(promoted))
+        tracer = self.env.tracer
+        if tracer.enabled and promoted:
+            tracer.count("engine.settled_promotions", len(promoted))
+            for meta in promoted:
+                tracer.instant("settled-promotion", cat="engine",
+                               table=meta.number,
+                               to_level=compaction.output_level)
 
     def _split_settled(self, compaction: Compaction
                        ) -> Tuple[List[FileMetaData], List[FileMetaData]]:

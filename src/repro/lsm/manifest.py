@@ -246,8 +246,11 @@ class VersionSet:
         edit.next_file_number = self.next_file_number
         edit.last_sequence = self.last_sequence
         edit.log_number = self.log_number
-        self._manifest_writer.append(edit.encode(), meter)
-        yield from self._manifest_handle.fsync()
+        with self.env.tracer.span("manifest.commit", cat="engine",
+                                  new_files=len(edit.new_files),
+                                  deleted=len(edit.deleted_files)):
+            self._manifest_writer.append(edit.encode(), meter)
+            yield from self._manifest_handle.fsync()
         self.manifest_writes += 1
         self._apply(edit)
 

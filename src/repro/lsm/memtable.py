@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional, Tuple
 
-from .codec import MAX_SEQUENCE, VALUE_TYPE_DELETION, VALUE_TYPE_VALUE
+from .codec import MAX_SEQUENCE, VALUE_TYPE_DELETION
 from .skiplist import SkipList
 
 __all__ = ["MemTable", "LookupResult", "internal_key", "FOUND", "DELETED", "NOT_FOUND"]

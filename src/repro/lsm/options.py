@@ -10,6 +10,7 @@ experiments keep the paper's ratios at laptop scale (DESIGN.md §2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Any, Optional
 
 from ..sim import CostModel
 
@@ -111,6 +112,13 @@ class Options:
     #: +FC: cache file descriptors per compaction file.
     enable_fd_cache: bool = False
     fd_cache_size: int = 1000
+
+    # -- observability ------------------------------------------------------
+    #: A :class:`repro.obs.Tracer` to install on the engine's simulation
+    #: environment at construction time.  ``None`` (the default) leaves
+    #: the zero-overhead null tracer in place, so tracing costs nothing
+    #: and changes nothing unless explicitly requested.
+    tracer: Optional[Any] = None
 
     # -- misc --------------------------------------------------------------------
     cost_model: CostModel = field(default_factory=CostModel)

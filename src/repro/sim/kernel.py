@@ -31,6 +31,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from ..obs.tracer import NULL_TRACER
+
 __all__ = [
     "Environment",
     "Event",
@@ -169,6 +171,8 @@ class Process(Event):
         self._gen = gen
         self._waiting_on: Optional[Event] = None
         self.name = name or getattr(gen, "__name__", "process")
+        if env._tracer.enabled:
+            env._tracer.process_spawned(self)
         # Kick off at the current simulation time.
         env._schedule_call(self._resume, None)
 
@@ -200,6 +204,11 @@ class Process(Event):
             self._step(None, event._exc)
 
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        # Publish which simulated process is executing so tracer spans
+        # recorded during this step attach to the right track.
+        env = self.env
+        previous = env.active_process
+        env.active_process = self
         try:
             if exc is None:
                 target = self._gen.send(value)
@@ -207,10 +216,16 @@ class Process(Event):
                 target = self._gen.throw(exc)
         except StopIteration as stop:
             self.succeed(stop.value)
+            if env._tracer.enabled:
+                env._tracer.process_finished(self)
             return
         except BaseException as error:  # noqa: BLE001 - propagate to waiters
             self.fail(error)
+            if env._tracer.enabled:
+                env._tracer.process_finished(self)
             return
+        finally:
+            env.active_process = previous
         if not isinstance(target, Event):
             self._gen.close()
             self.fail(SimulationError(
@@ -223,15 +238,29 @@ class Process(Event):
 class Environment:
     """The event loop: a priority queue of events ordered by virtual time."""
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, tracer: Any = None):
         self._now = float(initial_time)
         self._queue: List[Any] = []
         self._seq = 0
+        #: The simulated process currently being stepped (or None).
+        self.active_process: Optional[Process] = None
+        self._tracer = NULL_TRACER
+        if tracer is not None:
+            self.tracer = tracer
 
     @property
     def now(self) -> float:
         """Current virtual time, in seconds."""
         return self._now
+
+    @property
+    def tracer(self) -> Any:
+        """The installed :mod:`repro.obs` tracer (NULL_TRACER when off)."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer: Any) -> None:
+        self._tracer = tracer.attach(self)
 
     # -- scheduling ----------------------------------------------------
 

@@ -197,7 +197,8 @@ class BlockDevice:
             duration += p.rand_read_latency  # seek-equivalent penalty
         self.stats.num_writes += 1
         self.stats.bytes_written += nbytes
-        yield from self._exclusive(duration)
+        with self.env.tracer.span("dev.write", cat="device", bytes=nbytes):
+            yield from self._exclusive(duration)
 
     def read(self, nbytes: int, sequential: bool = False) -> Generator[Event, Any, None]:
         """Transfer ``nbytes`` from the device."""
@@ -209,7 +210,9 @@ class BlockDevice:
             duration += p.rand_read_latency
         self.stats.num_reads += 1
         self.stats.bytes_read += nbytes
-        yield from self._exclusive(duration)
+        with self.env.tracer.span("dev.read", cat="device", bytes=nbytes,
+                                  sequential=sequential):
+            yield from self._exclusive(duration)
 
     def barrier(self, dirty_bytes: int = 0) -> Generator[Event, Any, None]:
         """Flush ``dirty_bytes`` and wait for durability (fsync).
@@ -218,22 +221,24 @@ class BlockDevice:
         bytes sequentially, then pays the FLUSH latency.
         """
         p = self.profile
-        yield from self._drain_all()
-        try:
-            duration = p.barrier_latency
-            if dirty_bytes > 0:
-                # Queue ramp-up: writeback after a drain runs below peak
-                # bandwidth until the queue refills (see profile docs).
-                ramp_penalty = min(dirty_bytes, p.write_ramp_bytes)
-                duration += (p.per_request_overhead
-                             + (dirty_bytes + ramp_penalty) / p.seq_write_bw)
-                self.stats.num_writes += 1
-                self.stats.bytes_written += dirty_bytes
-            self.stats.num_barriers += 1
-            self.stats.barrier_time += duration
-            yield from self._busy(duration)
-        finally:
-            self._release_all()
+        with self.env.tracer.span("dev.barrier", cat="device",
+                                  dirty_bytes=dirty_bytes):
+            yield from self._drain_all()
+            try:
+                duration = p.barrier_latency
+                if dirty_bytes > 0:
+                    # Queue ramp-up: writeback after a drain runs below peak
+                    # bandwidth until the queue refills (see profile docs).
+                    ramp_penalty = min(dirty_bytes, p.write_ramp_bytes)
+                    duration += (p.per_request_overhead
+                                 + (dirty_bytes + ramp_penalty) / p.seq_write_bw)
+                    self.stats.num_writes += 1
+                    self.stats.bytes_written += dirty_bytes
+                self.stats.num_barriers += 1
+                self.stats.barrier_time += duration
+                yield from self._busy(duration)
+            finally:
+                self._release_all()
 
     def submit_only(self) -> Generator[Event, Any, None]:
         """Queue-submission overhead only (an ordering barrier's cost:

@@ -191,7 +191,8 @@ class SimFS:
 
     def create(self, name: str) -> Generator[Event, Any, FileHandle]:
         """Create (truncating) ``name`` and return an open handle."""
-        yield from self.device.metadata_op()
+        with self.env.tracer.span("fs.create", cat="fs", file=name):
+            yield from self.device.metadata_op()
         file = _SimFile(self._next_id, name)
         self._next_id += 1
         self._files[name] = file
@@ -200,14 +201,16 @@ class SimFS:
 
     def open(self, name: str) -> Generator[Event, Any, FileHandle]:
         """Open an existing file; pays a metadata (inode lookup) cost."""
-        yield from self.device.metadata_op()
+        with self.env.tracer.span("fs.open", cat="fs", file=name):
+            yield from self.device.metadata_op()
         file = self._lookup(name)
         self.stats.num_opens += 1
         return FileHandle(self, file)
 
     def unlink(self, name: str) -> Generator[Event, Any, None]:
         """Remove a file from the namespace; open handles stay valid."""
-        yield from self.device.metadata_op()
+        with self.env.tracer.span("fs.unlink", cat="fs", file=name):
+            yield from self.device.metadata_op()
         file = self._lookup(name)
         del self._files[name]
         self.stats.num_unlinks += 1
@@ -216,7 +219,8 @@ class SimFS:
 
     def rename(self, old: str, new: str) -> Generator[Event, Any, None]:
         """Atomically rename ``old`` to ``new`` (replacing ``new``)."""
-        yield from self.device.metadata_op()
+        with self.env.tracer.span("fs.rename", cat="fs", file=old, to=new):
+            yield from self.device.metadata_op()
         file = self._lookup(old)
         del self._files[old]
         if new in self._files and self.page_cache is not None:
@@ -330,12 +334,18 @@ class SimFS:
     def fsync(self, handle: FileHandle) -> Generator[Event, Any, None]:
         """Flush the file's dirty pages and issue a device barrier."""
         self.stats.num_fsync += 1
-        yield from self._sync(handle._file)
+        file = handle._file
+        with self.env.tracer.span("fsync", cat="barrier", file=file.name,
+                                  dirty_pages=len(file.dirty)):
+            yield from self._sync(file)
 
     def fdatasync(self, handle: FileHandle) -> Generator[Event, Any, None]:
         """Like :meth:`fsync`; metadata laziness is not distinguished."""
         self.stats.num_fdatasync += 1
-        yield from self._sync(handle._file)
+        file = handle._file
+        with self.env.tracer.span("fdatasync", cat="barrier", file=file.name,
+                                  dirty_pages=len(file.dirty)):
+            yield from self._sync(file)
 
     def fdatabarrier(self, handle: FileHandle) -> Generator[Event, Any, None]:
         """BarrierFS's ordering-only barrier (paper §5).
@@ -352,12 +362,14 @@ class SimFS:
         pending = [page for page in file.dirty if page not in file.submitted]
         file.submitted.update(pending)
         self.epoch += 1
-        if pending:
-            # Background dispatch: occupies the device, counts the bytes.
-            self.env.process(
-                self.device.write(len(pending) * PAGE_SIZE, sequential=True),
-                name="fdatabarrier-writeback")
-        yield from self.device.submit_only()
+        with self.env.tracer.span("fdatabarrier", cat="ordering",
+                                  file=file.name, pages=len(pending)):
+            if pending:
+                # Background dispatch: occupies the device, counts the bytes.
+                self.env.process(
+                    self.device.write(len(pending) * PAGE_SIZE, sequential=True),
+                    name="fdatabarrier-writeback")
+            yield from self.device.submit_only()
 
     def _sync(self, file: _SimFile) -> Generator[Event, Any, None]:
         dirty_bytes = len(file.dirty) * PAGE_SIZE
@@ -400,6 +412,11 @@ class SimFS:
         if self.page_cache is not None and last >= first:
             self.page_cache.invalidate_range(file.file_id, first, last)
         self.stats.num_hole_punches += 1
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.instant("hole-punch", cat="fs", file=file.name,
+                           offset=offset, length=length)
+            tracer.count("fs.hole_punches")
 
     # -- crash injection ----------------------------------------------------
 

@@ -6,10 +6,16 @@
   databases (the ``ldb dump`` analog).
 * :mod:`~repro.tools.repair` — rebuild a database whose MANIFEST is
   lost/corrupt by scavenging tables from data files (``RepairDB``).
+* :mod:`~repro.tools.traceview` — summarize a Chrome trace-event JSON
+  produced by :mod:`repro.obs`
+  (``python -m repro.tools.traceview trace.json``).
 """
 
 from .dump import describe_database, dump_manifest, dump_table, dump_wal
 from .repair import repair_database
+
+# dbbench and traceview are CLI entry points (``python -m ...``) and are
+# deliberately not imported here.
 
 __all__ = [
     "describe_database",

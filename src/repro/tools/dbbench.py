@@ -25,9 +25,10 @@ import argparse
 import random
 from typing import Any, Generator, List, Optional
 
-from ..bench import BenchConfig, SYSTEMS, new_stack
+from ..bench import BenchConfig, SYSTEMS, new_stack, unified_snapshot
 from ..bench.histogram import LatencyHistogram
 from ..bench.metrics import LatencyRecorder
+from ..obs import Tracer, phase_summary, write_chrome_trace
 from ..sim import Event
 
 __all__ = ["main", "run_benchmarks"]
@@ -53,6 +54,9 @@ def _parser() -> argparse.ArgumentParser:
                         help="comma-separated list: %s" % ",".join(BENCHMARKS))
     parser.add_argument("--histogram", action="store_true",
                         help="print a latency histogram per benchmark")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a Chrome trace-event JSON of the run "
+                             "(open in Perfetto) and print a phase summary")
     return parser
 
 
@@ -61,7 +65,9 @@ def run_benchmarks(args: argparse.Namespace,
     """Run the requested benchmark list; returns one row per benchmark."""
     config = BenchConfig(scale=args.scale, record_count=args.num,
                          value_size=args.value_size, seed=args.seed)
-    stack = new_stack(config)
+    trace_path = getattr(args, "trace", None)
+    tracer = Tracer() if trace_path else None
+    stack = new_stack(config, tracer=tracer)
     system = SYSTEMS[args.engine]
     db = system.engine_cls.open_sync(
         stack.env, stack.fs, system.options(config.scale), "db")
@@ -127,18 +133,19 @@ def run_benchmarks(args: argparse.Namespace,
             yield from timed(name, iter([db.flush_all()]))
         elif name == "stats":
             status = db.describe()
+            snap = unified_snapshot(stack, db)
             out("levels (tables):  %s" % status["levels"])
-            out("compactions:      %s" % status["stats"]["compactions"])
-            out("settled:          %s" % status["stats"]["settled_promotions"])
-            out("fsync calls:      %s" % stack.fs.stats.num_barrier_calls)
+            out("compactions:      %s" % snap["engine"]["compactions"])
+            out("settled:          %s" % snap["engine"]["settled_promotions"])
+            out("fsync calls:      %s" % snap["fs"]["num_barrier_calls"])
             out("device MB written:%10.2f"
-                % (stack.device.stats.bytes_written / 1e6))
+                % (snap["device"]["bytes_written"] / 1e6))
             out("device MB read:   %10.2f"
-                % (stack.device.stats.bytes_read / 1e6))
-            out("virtual seconds:  %10.4f" % stack.env.now)
+                % (snap["device"]["bytes_read"] / 1e6))
+            out("virtual seconds:  %10.4f" % snap["clock"]["virtual_seconds"])
             rows.append({"benchmark": "stats",
-                         "fsync": stack.fs.stats.num_barrier_calls,
-                         "mb_written": stack.device.stats.bytes_written / 1e6})
+                         "fsync": snap["fs"]["num_barrier_calls"],
+                         "mb_written": snap["device"]["bytes_written"] / 1e6})
         else:
             raise SystemExit(f"unknown benchmark {name!r} "
                              f"(choose from {', '.join(BENCHMARKS)})")
@@ -157,6 +164,10 @@ def run_benchmarks(args: argparse.Namespace,
         f"value: {args.value_size} B  scale: 1/{args.scale}")
     stack.env.run_until(stack.env.process(driver()))
     db.close_sync()
+    if tracer is not None:
+        write_chrome_trace(tracer, trace_path)
+        out(phase_summary(tracer))
+        out(f"trace written to {trace_path} (load in https://ui.perfetto.dev)")
     return rows
 
 

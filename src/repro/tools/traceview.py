@@ -1,0 +1,167 @@
+"""traceview: summarize a Chrome trace-event JSON without leaving the
+terminal.
+
+The trace files come from :func:`repro.obs.write_chrome_trace` (via
+``run_suite(trace=...)`` or ``dbbench --trace``), but any file in the
+Chrome ``traceEvents`` format works.  Usage::
+
+    python -m repro.tools.traceview trace.json
+    python -m repro.tools.traceview trace.json --cat barrier --slowest 10
+    python -m repro.tools.traceview trace.json --threads
+
+The default view aggregates complete ("X") events by name, like the
+in-process :func:`repro.obs.phase_summary` but offline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Dict, List, Optional, Tuple
+
+from ..bench.report import format_table
+
+__all__ = ["main", "load_events", "summarize_trace"]
+
+
+def load_events(path: str) -> List[dict]:
+    """Read a trace file; accepts both the object and bare-array forms."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    events = data.get("traceEvents") if isinstance(data, dict) else data
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: not a Chrome trace-event file")
+    return events
+
+
+def thread_names(events: List[dict]) -> Dict[Tuple[int, int], str]:
+    """(pid, tid) -> thread name, from the "M" metadata events."""
+    names: Dict[Tuple[int, int], str] = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            names[(event.get("pid", 0), event.get("tid", 0))] = \
+                event.get("args", {}).get("name", "")
+    return names
+
+
+def _matches(event: dict, cat: Optional[str], track: Optional[str],
+             names: Dict[Tuple[int, int], str]) -> bool:
+    if cat is not None and event.get("cat", "") != cat:
+        return False
+    if track is not None:
+        tid = (event.get("pid", 0), event.get("tid", 0))
+        if names.get(tid, str(event.get("tid", ""))) != track:
+            return False
+    return True
+
+
+def summarize_trace(events: List[dict], cat: Optional[str] = None,
+                    track: Optional[str] = None) -> List[dict]:
+    """Aggregate "X" events by (cat, name): count/total/mean/max."""
+    names = thread_names(events)
+    totals: Dict[Tuple[str, str], List[float]] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        if not _matches(event, cat, track, names):
+            continue
+        key = (event.get("cat", ""), event.get("name", ""))
+        durations = totals.setdefault(key, [])
+        durations.append(float(event.get("dur", 0.0)))
+    rows = []
+    for (event_cat, name), durations in totals.items():
+        total = sum(durations)
+        rows.append({
+            "cat": event_cat,
+            "name": name,
+            "count": len(durations),
+            "total_ms": round(total / 1e3, 3),
+            "mean_us": round(total / len(durations), 1),
+            "max_us": round(max(durations), 1),
+        })
+    rows.sort(key=lambda row: -row["total_ms"])
+    return rows
+
+
+def slowest_spans(events: List[dict], limit: int, cat: Optional[str] = None,
+                  track: Optional[str] = None) -> List[dict]:
+    """The individually longest "X" events."""
+    names = thread_names(events)
+    spans = [event for event in events
+             if event.get("ph") == "X" and _matches(event, cat, track, names)]
+    spans.sort(key=lambda event: -float(event.get("dur", 0.0)))
+    rows = []
+    for event in spans[:limit]:
+        tid = (event.get("pid", 0), event.get("tid", 0))
+        rows.append({
+            "name": event.get("name", ""),
+            "cat": event.get("cat", ""),
+            "track": names.get(tid, str(event.get("tid", ""))),
+            "ts_ms": round(float(event.get("ts", 0.0)) / 1e3, 3),
+            "dur_us": round(float(event.get("dur", 0.0)), 1),
+        })
+    return rows
+
+
+def thread_rows(events: List[dict]) -> List[dict]:
+    """Per-track span counts and busy time."""
+    names = thread_names(events)
+    per_track: Dict[Tuple[int, int], List[float]] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        tid = (event.get("pid", 0), event.get("tid", 0))
+        per_track.setdefault(tid, []).append(float(event.get("dur", 0.0)))
+    rows = []
+    for tid, durations in per_track.items():
+        rows.append({
+            "track": names.get(tid, str(tid[1])),
+            "spans": len(durations),
+            "busy_ms": round(sum(durations) / 1e3, 3),
+        })
+    rows.sort(key=lambda row: -row["busy_ms"])
+    return rows
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.traceview",
+        description="summarize a Chrome trace-event JSON from repro.obs")
+    parser.add_argument("trace", help="trace file (write_chrome_trace output)")
+    parser.add_argument("--cat", default=None,
+                        help="only events of this category "
+                             "(device/barrier/ordering/fs/engine/kernel)")
+    parser.add_argument("--track", default=None,
+                        help="only events on this thread/track name")
+    parser.add_argument("--slowest", type=int, metavar="N", default=0,
+                        help="also list the N longest individual spans")
+    parser.add_argument("--threads", action="store_true",
+                        help="also list per-track span counts and busy time")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out=print) -> List[dict]:
+    args = _parser().parse_args(argv)
+    try:
+        events = load_events(args.trace)
+    except OSError as exc:
+        raise SystemExit(f"traceview: cannot read {args.trace}: {exc}")
+    except ValueError as exc:  # bad JSON or not a trace file
+        raise SystemExit(f"traceview: {exc}")
+    rows = summarize_trace(events, cat=args.cat, track=args.track)
+    instants = sum(1 for event in events if event.get("ph") == "i")
+    out(format_table(rows, title=f"{args.trace}: {len(events)} events "
+                                 f"({instants} instants)"))
+    if args.slowest:
+        out("")
+        out(format_table(slowest_spans(events, args.slowest, cat=args.cat,
+                                       track=args.track),
+                         title=f"slowest {args.slowest} spans"))
+    if args.threads:
+        out("")
+        out(format_table(thread_rows(events), title="tracks"))
+    return rows
+
+
+if __name__ == "__main__":
+    main()

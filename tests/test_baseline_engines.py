@@ -15,7 +15,7 @@ from repro.engines import (
     pebblesdb_options,
     rocksdb_options,
 )
-from repro.lsm import LEVELDB_FORMAT, ROCKSDB_FORMAT
+from repro.lsm import ROCKSDB_FORMAT
 from repro.sim import Environment
 from repro.storage import BlockDevice, PageCache, SimFS
 

@@ -13,7 +13,6 @@ from repro.core import (
     hyperbolt_options,
 )
 from repro.engines import LevelDBEngine, leveldb_options
-from repro.lsm import Options
 from repro.sim import Environment
 from repro.storage import BlockDevice, PageCache, SimFS
 

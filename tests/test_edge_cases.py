@@ -10,7 +10,6 @@ from repro.storage import (
     NVME_SSD,
     PAGE_SIZE,
     PageCache,
-    SATA_SSD,
     SimFS,
 )
 

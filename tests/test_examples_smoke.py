@@ -1,0 +1,47 @@
+"""Every script in examples/ must run end-to-end.
+
+Each example is imported under a private module name (so its
+``__main__`` guard does not fire), its workload-size constants are
+shrunk, and ``main()`` is called.  The ``REPRO_BENCH_*`` environment
+overrides shrink the examples that size themselves via
+:class:`repro.bench.BenchConfig`.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Module-level workload knobs to shrink wherever an example defines them.
+SMALL = {
+    "RECORDS": 800,
+    "ROUNDS": 3,
+    "OPS_PER_ROUND": 80,
+}
+
+
+def test_examples_exist():
+    assert EXAMPLES, f"no examples found under {EXAMPLES_DIR}"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda path: path.stem)
+def test_example_runs(path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_BENCH_RECORDS", "500")
+    monkeypatch.setenv("REPRO_BENCH_OPS", "200")
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "1024")
+    name = f"_example_{path.stem}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    monkeypatch.setitem(sys.modules, name, module)
+    spec.loader.exec_module(module)
+    for constant, value in SMALL.items():
+        if hasattr(module, constant):
+            monkeypatch.setattr(module, constant, value)
+    assert hasattr(module, "main"), f"{path.name} has no main()"
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} printed nothing"

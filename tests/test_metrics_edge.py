@@ -1,0 +1,127 @@
+"""Edge cases for the measurement utilities the figures depend on."""
+
+import pytest
+
+from repro.bench.metrics import LatencyRecorder, PhaseResult, percentile
+from repro.lsm.engine import EngineStats
+
+
+class TestPercentile:
+    def test_empty_samples(self):
+        assert percentile([], 50.0) == 0.0
+        assert percentile([], 0.0) == 0.0
+        assert percentile([], 100.0) == 0.0
+
+    def test_single_sample_any_percentile(self):
+        for p in (0.0, 0.1, 50.0, 99.9, 100.0):
+            assert percentile([7.5], p) == 7.5
+
+    def test_p0_is_min_p100_is_max(self):
+        samples = [3.0, 1.0, 2.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, -5.0) == 1.0
+        assert percentile(samples, 100.0) == 3.0
+        assert percentile(samples, 150.0) == 3.0
+
+    def test_nearest_rank_boundaries(self):
+        samples = list(range(1, 11))  # 1..10
+        # ceil(p/100 * 10) picks the nearest rank from above.
+        assert percentile(samples, 50.0) == 5
+        assert percentile(samples, 50.1) == 6
+        assert percentile(samples, 10.0) == 1
+        assert percentile(samples, 10.1) == 2
+        assert percentile(samples, 90.0) == 9
+        assert percentile(samples, 99.0) == 10
+
+    def test_input_need_not_be_sorted(self):
+        assert percentile([9.0, 1.0, 5.0], 50.0) == 5.0
+
+    def test_tiny_percentile_clamps_to_first_rank(self):
+        assert percentile([1.0, 2.0, 3.0], 1e-9) == 1.0
+
+
+class TestLatencyRecorder:
+    def test_empty_recorder(self):
+        recorder = LatencyRecorder()
+        assert recorder.count() == 0
+        assert recorder.count("read") == 0
+        assert recorder.samples() == []
+        assert recorder.kinds() == []
+        assert recorder.percentile(99.0) == 0.0
+        assert recorder.mean() == 0.0
+        assert recorder.cdf() == [(p, 0.0) for p, _ in recorder.cdf()]
+
+    def test_per_kind_bookkeeping(self):
+        recorder = LatencyRecorder()
+        recorder.record("read", 1.0)
+        recorder.record("read", 3.0)
+        recorder.record("insert", 2.0)
+        assert recorder.count() == 3
+        assert recorder.count("read") == 2
+        assert recorder.kinds() == ["insert", "read"]
+        assert sorted(recorder.samples()) == [1.0, 2.0, 3.0]
+        assert recorder.mean("read") == 2.0
+        assert recorder.percentile(100.0, "read") == 3.0
+
+    def test_samples_returns_a_copy(self):
+        recorder = LatencyRecorder()
+        recorder.record("read", 1.0)
+        recorder.samples("read").append(99.0)
+        recorder.samples().append(99.0)
+        assert recorder.samples("read") == [1.0]
+        assert recorder.count() == 1
+
+    def test_cdf_is_monotone(self):
+        recorder = LatencyRecorder()
+        for value in (5.0, 1.0, 4.0, 2.0, 3.0):
+            recorder.record("op", value)
+        curve = recorder.cdf()
+        latencies = [latency for _p, latency in curve]
+        assert latencies == sorted(latencies)
+        assert curve[-1][1] == 5.0
+
+    def test_single_sample_cdf(self):
+        recorder = LatencyRecorder()
+        recorder.record("op", 0.25)
+        assert all(latency == 0.25 for _p, latency in recorder.cdf())
+
+
+class TestEngineStatsSnapshot:
+    def test_snapshot_is_isolated_from_further_mutation(self):
+        stats = EngineStats()
+        stats.compactions = 3
+        snap = stats.snapshot()
+        stats.compactions += 7
+        stats.stall_time += 1.5
+        assert snap.compactions == 3
+        assert snap.stall_time == 0.0
+        assert stats.compactions == 10
+
+    def test_snapshot_copies_every_field(self):
+        stats = EngineStats()
+        for name, value in vars(stats).items():
+            setattr(stats, name, value + 1)
+        snap = stats.snapshot()
+        assert vars(snap) == vars(stats)
+        for name in vars(stats):
+            setattr(stats, name, getattr(stats, name) + 1)
+        assert all(vars(snap)[name] == vars(stats)[name] - 1
+                   for name in vars(stats))
+
+
+def test_phase_result_derived_metrics_guard_zero_division():
+    result = PhaseResult(system="x", workload="a", operations=0,
+                         elapsed=0.0, latencies=LatencyRecorder())
+    assert result.throughput == 0.0
+    assert result.write_amplification == 0.0
+    row = result.summary_row()
+    assert row["kops"] == 0.0 and row["p99_ms"] == 0.0
+
+
+def test_phase_result_write_amplification_prefers_user_bytes():
+    result = PhaseResult(system="x", workload="a", operations=1,
+                         elapsed=1.0, latencies=LatencyRecorder(),
+                         bytes_written=100, logical_bytes=50, user_bytes=25)
+    assert result.write_amplification == pytest.approx(4.0)
+    result.user_bytes = 0
+    assert result.write_amplification == pytest.approx(2.0)

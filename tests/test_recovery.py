@@ -8,7 +8,6 @@ order, and recovery must restore exactly the acknowledged-durable state
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import BoLTEngine, bolt_options

@@ -7,7 +7,6 @@ import pytest
 from repro.sim import Environment
 from repro.storage import (
     BlockDevice,
-    DeviceProfile,
     FileSystemError,
     HARD_DISK,
     NVME_SSD,

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core import BoLTEngine, bolt_options
 from repro.engines import LevelDBEngine, leveldb_options
-from repro.lsm import Options
 from repro.sim import Environment
 from repro.storage import BlockDevice, PageCache, SimFS
 from repro.tools import (

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.lsm import FileMetaData, Options, Version, VersionEdit, VersionSet
-from repro.lsm.wal import read_log_records
 
 
 def meta(number, smallest, largest, length=1000, container=None, offset=0):

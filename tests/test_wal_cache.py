@@ -7,7 +7,6 @@ from repro.lsm import LogWriter, Options, WriteBatch, read_log_records
 from repro.lsm.cache import BlockCache, LRUCache, TableCache
 from repro.lsm.codec import VALUE_TYPE_DELETION, VALUE_TYPE_VALUE
 from repro.lsm.sstable import SSTableBuilder
-from repro.storage import PAGE_SIZE
 
 
 class TestWriteBatch:

@@ -4,7 +4,6 @@ import random
 from collections import Counter
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.ycsb import (
     KEY_SIZE,
