@@ -8,6 +8,7 @@ from .harness import (
     load_database,
     new_stack,
     open_engine,
+    run_crash_sweep,
     run_suite,
 )
 from .metrics import LatencyRecorder, PhaseResult, percentile
@@ -23,6 +24,7 @@ __all__ = [
     "new_stack",
     "open_engine",
     "run_suite",
+    "run_crash_sweep",
     "LatencyRecorder",
     "PhaseResult",
     "percentile",

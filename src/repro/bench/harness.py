@@ -38,7 +38,7 @@ from ..ycsb.distributions import InsertCounter
 from .metrics import LatencyRecorder, PhaseResult
 
 __all__ = ["SystemSpec", "SYSTEMS", "BenchConfig", "Stack", "new_stack",
-           "open_engine", "run_suite", "load_database"]
+           "open_engine", "run_suite", "load_database", "run_crash_sweep"]
 
 
 @dataclass(frozen=True)
@@ -51,6 +51,7 @@ class SystemSpec:
     options_factory: Callable[..., Options]
 
     def options(self, scale: int, **overrides) -> Options:
+        """Build this system's :class:`Options` at byte scale ``scale``."""
         return self.options_factory(scale, **overrides)
 
 
@@ -106,20 +107,24 @@ class BenchConfig:
     page_cache_bytes: Optional[int] = None
 
     def resolved_device(self) -> DeviceProfile:
+        """The device profile experiments run on (default: scaled SATA)."""
         if self.device is not None:
             return self.device
         return SATA_SSD.scaled(self.scale)
 
     @property
     def dataset_bytes(self) -> int:
+        """Logical dataset size implied by record count and value size."""
         return self.record_count * (self.value_size + 23)
 
     def resolved_page_cache_bytes(self) -> int:
+        """Page-cache (DRAM) budget: explicit, or dataset/6 as in the paper."""
         if self.page_cache_bytes is not None:
             return self.page_cache_bytes
         return max(1 << 20, self.dataset_bytes // 6)
 
     def copy(self, **updates) -> "BenchConfig":
+        """A copy of this config with ``updates`` applied."""
         return replace(self, **updates)
 
 
@@ -135,6 +140,7 @@ class Stack:
 
 
 def new_stack(config: BenchConfig, tracer: Optional[Tracer] = None) -> Stack:
+    """Build one simulated machine (env, device, fs) for ``config``."""
     env = Environment(tracer=tracer)
     device = BlockDevice(env, config.resolved_device())
     fs = SimFS(env, device, PageCache(config.resolved_page_cache_bytes()))
@@ -143,6 +149,7 @@ def new_stack(config: BenchConfig, tracer: Optional[Tracer] = None) -> Stack:
 
 def open_engine(stack: Stack, system: SystemSpec, config: BenchConfig,
                 options: Optional[Options] = None) -> LSMEngine:
+    """Open ``system``'s engine on ``stack``, synchronously."""
     opts = options if options is not None else system.options(config.scale)
     return system.engine_cls.open_sync(stack.env, stack.fs, opts, "db")
 
@@ -227,6 +234,7 @@ def run_suite(system: SystemSpec, config: BenchConfig,
         tracer = Tracer()
 
     def fresh_db() -> Tuple[Stack, LSMEngine]:
+        """Build a fresh stack and open the system under test on it."""
         stack = new_stack(config, tracer=tracer)
         db = system.engine_cls.open_sync(
             stack.env, stack.fs,
@@ -270,3 +278,27 @@ def run_suite(system: SystemSpec, config: BenchConfig,
     if trace is not None:
         write_chrome_trace(tracer, trace)
     return results
+
+
+def run_crash_sweep(engines: Optional[Tuple[str, ...]] = None,
+                    smoke: bool = False, **overrides) -> Any:
+    """Run the :mod:`repro.faults` crash-consistency sweep.
+
+    Convenience wrapper so benchmark scripts can assert crash safety
+    next to performance numbers.  ``engines`` defaults to the four
+    architecture families; ``smoke=True`` uses the reduced CI
+    configuration; other keyword arguments override
+    :class:`repro.faults.SweepConfig` fields.  Returns a
+    :class:`repro.faults.SweepReport`.
+
+    (Imported lazily: faults depends on this module for the system
+    registry.)
+    """
+    from ..faults import SweepConfig, crash_sweep, smoke_config
+    if smoke:
+        config = smoke_config(**overrides)
+    else:
+        config = SweepConfig(**overrides)
+    if engines is not None:
+        config.engines = tuple(engines)
+    return crash_sweep(config)

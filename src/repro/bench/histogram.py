@@ -49,6 +49,7 @@ class LatencyHistogram:
         return self.min_latency * 10 ** (index / self.buckets_per_decade)
 
     def record(self, latency: float) -> None:
+        """Add one latency sample (seconds)."""
         self._counts[self._bucket_of(latency)] += 1
         self._count += 1
         self._sum += latency
@@ -56,6 +57,7 @@ class LatencyHistogram:
         self._max = max(self._max, latency)
 
     def record_all(self, latencies: Iterable[float]) -> None:
+        """Add every sample of ``latencies``."""
         for latency in latencies:
             self.record(latency)
 
@@ -66,14 +68,17 @@ class LatencyHistogram:
 
     @property
     def mean(self) -> float:
+        """Arithmetic mean of all recorded samples."""
         return self._sum / self._count if self._count else 0.0
 
     @property
     def min(self) -> float:
+        """Smallest recorded sample."""
         return self._min if self._count else 0.0
 
     @property
     def max(self) -> float:
+        """Largest recorded sample."""
         return self._max
 
     def percentile(self, p: float) -> float:
@@ -90,6 +95,7 @@ class LatencyHistogram:
 
     def cdf(self, points: Iterable[float] = (50, 90, 99, 99.9)
             ) -> List[Tuple[float, float]]:
+        """``(percentile, latency)`` pairs for each requested point."""
         return [(p, self.percentile(p)) for p in points]
 
     # -- composition ----------------------------------------------------------

@@ -38,9 +38,11 @@ class LatencyRecorder:
         self._samples: Dict[str, List[float]] = {}
 
     def record(self, kind: str, latency: float) -> None:
+        """Record one ``latency`` sample under operation ``kind``."""
         self._samples.setdefault(kind, []).append(latency)
 
     def samples(self, kind: Optional[str] = None) -> List[float]:
+        """All samples, or only ``kind``'s when given."""
         if kind is not None:
             return list(self._samples.get(kind, []))
         merged: List[float] = []
@@ -49,17 +51,21 @@ class LatencyRecorder:
         return merged
 
     def count(self, kind: Optional[str] = None) -> int:
+        """Number of recorded samples, optionally restricted to ``kind``."""
         if kind is not None:
             return len(self._samples.get(kind, []))
         return sum(len(v) for v in self._samples.values())
 
     def kinds(self) -> List[str]:
+        """The operation kinds recorded so far."""
         return sorted(self._samples)
 
     def percentile(self, p: float, kind: Optional[str] = None) -> float:
+        """The ``p``-th percentile latency, optionally per ``kind``."""
         return percentile(self.samples(kind), p)
 
     def mean(self, kind: Optional[str] = None) -> float:
+        """Mean latency, optionally restricted to ``kind``."""
         samples = self.samples(kind)
         return sum(samples) / len(samples) if samples else 0.0
 
@@ -117,6 +123,7 @@ class PhaseResult:
         return self.bytes_written / denominator
 
     def summary_row(self) -> Dict[str, object]:
+        """This phase's headline metrics as one flat report row."""
         return {
             "system": self.system,
             "workload": self.workload,

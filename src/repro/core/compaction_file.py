@@ -20,6 +20,7 @@ __all__ = ["CompactionFileSink", "container_name"]
 
 
 def container_name(dbname: str, file_number: int) -> str:
+    """The on-disk name of compaction file ``file_number``."""
     return f"{dbname}/{file_number:06d}.cf"
 
 
@@ -39,6 +40,7 @@ class CompactionFileSink(OutputSink):
 
     def next_handle(self, table_number: int
                     ) -> Generator[Event, Any, Tuple[FileHandle, str]]:
+        """Append the next logical SSTable to the shared container file."""
         if self._handle is None:
             self._handle = yield from self.fs.create(self.name)
         self.tables_written += 1

@@ -28,14 +28,17 @@ class FileDescriptorCache:
 
     @property
     def hits(self) -> int:
+        """Number of handle lookups served from the cache."""
         return self._cache.hits
 
     @property
     def misses(self) -> int:
+        """Number of handle lookups that had to open the file."""
         return self._cache.misses
 
     @property
     def hit_ratio(self) -> float:
+        """hits / (hits + misses), 0.0 before any lookup."""
         return self._cache.hit_ratio
 
     def open(self, name: str) -> Generator[Event, Any, FileHandle]:

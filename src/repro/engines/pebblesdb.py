@@ -120,6 +120,7 @@ class PebblesDBEngine(LSMEngine):
         return None
 
     def has_pending_work(self) -> bool:
+        """True while any flush or (guard) compaction is queued or running."""
         if super().has_pending_work():
             return True
         return self._oversized_guard(self.versions.current) is not None

@@ -1,0 +1,84 @@
+"""Crash-consistency fault injection (repro.faults).
+
+BoLT's argument is that barriers are the unit of durability — two per
+compaction instead of N+1 — so the engines must be *correct* at every
+instant between those barriers.  This package verifies that, ALICE-
+style:
+
+* :class:`CrashInjector` + :class:`FaultPlan` capture
+  :class:`CrashImage` snapshots at named crash sites during one golden
+  run (barrier completions, mid-WAL-append, mid-MANIFEST-commit,
+  between LSST seals, hole punches);
+* :class:`FaultModel` describes what power loss does to unsynced state
+  (all-lost, random epoch-ordered subsets, torn last page, reordered
+  pages) and :class:`TransientEIO` injects retryable device errors;
+* :class:`CrashChecker` reopens each materialized image and asserts the
+  durability contract (docs/FAULT_MODEL.md);
+* :func:`crash_sweep` runs the whole pipeline over the paper's four
+  engine families (also reachable via ``repro.bench.run_crash_sweep``
+  and ``python -m repro.tools.dbbench --crash-sweep``).
+
+Quick taste::
+
+    from repro.faults import crash_sweep, smoke_config
+
+    report = crash_sweep(smoke_config(engines=("bolt",)))
+    assert report.ok, "\\n".join(report.summary_lines())
+"""
+
+from .plan import (
+    ALL_SITES,
+    DEFAULT_MODELS,
+    SITE_BARRIER,
+    SITE_CURRENT_RENAME,
+    SITE_FDATABARRIER,
+    SITE_HOLE_PUNCH,
+    SITE_MANIFEST_APPEND,
+    SITE_MANIFEST_COMMIT,
+    SITE_TABLE_SEALED,
+    SITE_TIMER,
+    SITE_WAL_APPEND,
+    CrashImage,
+    CrashInjector,
+    FaultModel,
+    FaultPlan,
+    TransientEIO,
+)
+from .checker import CrashChecker, DurabilityOracle, OracleState, Violation
+from .sweep import (
+    EngineSweepResult,
+    SweepConfig,
+    SweepReport,
+    crash_sweep,
+    smoke_config,
+    sweep_engine,
+)
+
+__all__ = [
+    "ALL_SITES",
+    "SITE_BARRIER",
+    "SITE_FDATABARRIER",
+    "SITE_HOLE_PUNCH",
+    "SITE_WAL_APPEND",
+    "SITE_TABLE_SEALED",
+    "SITE_MANIFEST_APPEND",
+    "SITE_MANIFEST_COMMIT",
+    "SITE_CURRENT_RENAME",
+    "SITE_TIMER",
+    "FaultModel",
+    "DEFAULT_MODELS",
+    "FaultPlan",
+    "CrashImage",
+    "CrashInjector",
+    "TransientEIO",
+    "DurabilityOracle",
+    "OracleState",
+    "Violation",
+    "CrashChecker",
+    "SweepConfig",
+    "EngineSweepResult",
+    "SweepReport",
+    "crash_sweep",
+    "sweep_engine",
+    "smoke_config",
+]

@@ -1,0 +1,241 @@
+"""The durability contract and its post-crash checker.
+
+The contract (spelled out precisely in docs/FAULT_MODEL.md):
+
+1. **Reopen succeeds** — recovery must never raise on any reachable
+   crash state.
+2. **Acknowledged writes are readable** — every key the workload saw
+   acknowledged as durable (put/delete completed with ``wal_sync``)
+   reads back exactly its last acknowledged value; un-acknowledged
+   writes may appear (they were in the WAL tail) or not, but nothing
+   else may — in particular no un-acked write resurrects a deleted key,
+   and no value the workload never wrote can surface.
+3. **MANIFEST references are sound** — every table the recovered
+   version references exists, lies within its container's bounds, and
+   decodes end-to-end without corruption (so a punched or unsealed LSST
+   can never be reachable through MANIFEST).
+4. **Recovery converges** — after recovery quiesces, crashing again
+   (losing everything unsynced) and recovering yields the identical
+   key-value state: reopen-after-reopen is a fixed point.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Set
+
+from .plan import CrashImage, FaultModel
+
+__all__ = ["DurabilityOracle", "OracleState", "Violation", "CrashChecker"]
+
+
+@dataclass
+class OracleState:
+    """An immutable snapshot of the oracle at one crash point."""
+
+    #: key -> last acknowledged value (None = acknowledged delete).
+    durable: Dict[bytes, Optional[bytes]]
+    #: key -> values written but not (yet) acknowledged at capture time.
+    pending: Dict[bytes, List[Optional[bytes]]]
+
+    def keys(self) -> Set[bytes]:
+        """Every key the workload has ever written."""
+        return set(self.durable) | set(self.pending)
+
+    def allowed(self, key: bytes) -> Set[Optional[bytes]]:
+        """The set of values a post-crash read of ``key`` may return.
+
+        The last acknowledged value is always allowed; so is any
+        un-acknowledged value (its WAL record may have survived).  A key
+        never acknowledged reads as the un-acked value or None.
+        """
+        return {self.durable.get(key)} | set(self.pending.get(key, ()))
+
+
+class DurabilityOracle:
+    """Tracks which writes the workload saw acknowledged as durable.
+
+    Drive it alongside the workload::
+
+        oracle.begin(key, value)     # before issuing the put/delete
+        db.put_sync(key, value)
+        oracle.acked(key, value)     # the engine acknowledged it
+
+    ``value=None`` records a delete.  :class:`CrashInjector` snapshots
+    the oracle synchronously at each capture, so every crash image knows
+    exactly which writes were acknowledged at that instant.
+    """
+
+    def __init__(self) -> None:
+        self.durable: Dict[bytes, Optional[bytes]] = {}
+        self.pending: Dict[bytes, List[Optional[bytes]]] = {}
+
+    def begin(self, key: bytes, value: Optional[bytes]) -> None:
+        """Record that a write of ``value`` to ``key`` is being issued."""
+        self.pending.setdefault(key, []).append(value)
+
+    def acked(self, key: bytes, value: Optional[bytes]) -> None:
+        """Record that the write completed (acknowledged-durable)."""
+        self.durable[key] = value
+        values = self.pending.get(key)
+        if values is not None:
+            try:
+                values.remove(value)
+            except ValueError:
+                pass
+            if not values:
+                del self.pending[key]
+
+    def snapshot(self) -> OracleState:
+        """An independent copy of the current ledger."""
+        return OracleState(durable=dict(self.durable),
+                           pending={k: list(v) for k, v in self.pending.items()})
+
+
+@dataclass
+class Violation:
+    """One broken durability-contract clause at one (site, model) point."""
+
+    kind: str
+    site: str
+    model: str
+    detail: str = ""
+    key: Optional[bytes] = field(default=None)
+
+    def __str__(self) -> str:
+        where = f"{self.site}/{self.model}"
+        key = f" key={self.key!r}" if self.key is not None else ""
+        return f"[{self.kind}] at {where}{key}: {self.detail}"
+
+
+class CrashChecker:
+    """Reopens crash images and asserts the durability contract."""
+
+    def __init__(self, engine_cls: type, options: Any, dbname: str = "db"):
+        self.engine_cls = engine_cls
+        self.options = options
+        self.dbname = dbname
+
+    # -- public ---------------------------------------------------------
+
+    def check_image(self, image: CrashImage, model: FaultModel,
+                    seed: int = 0) -> List[Violation]:
+        """Apply ``model`` to ``image``, recover, check all four clauses.
+
+        Returns the (possibly empty) list of violations; deterministic
+        for a given ``(image, model, seed)``.
+        """
+        rng = random.Random(zlib.crc32(
+            f"{seed}/{image.site}/{image.index}/{model.name}".encode()))
+        env, fs = image.materialize(model, rng)
+        label = dict(site=image.site, model=model.name)
+
+        try:
+            db = self.engine_cls.open_sync(env, fs, self.options.copy(),
+                                           self.dbname)
+        except Exception as exc:  # noqa: BLE001 - any failure is clause 1
+            return [Violation("reopen-failed", detail=repr(exc), **label)]
+
+        violations: List[Violation] = []
+        state = image.oracle
+        if state is not None:
+            violations.extend(self._check_reads(db, state, label))
+        violations.extend(self._check_manifest_refs(env, fs, db, label))
+        violations.extend(self._check_fixed_point(env, fs, db, state, label))
+        return violations
+
+    # -- clause 2: acknowledged writes ----------------------------------
+
+    def _check_reads(self, db: Any, state: OracleState,
+                     label: Dict[str, str]) -> List[Violation]:
+        violations: List[Violation] = []
+        keys = state.keys()
+        for key in sorted(keys):
+            try:
+                got = db.get_sync(key)
+            except Exception as exc:  # noqa: BLE001
+                violations.append(Violation("read-failed", key=key,
+                                            detail=repr(exc), **label))
+                continue
+            allowed = state.allowed(key)
+            if got not in allowed:
+                violations.append(Violation(
+                    "durability", key=key,
+                    detail=f"read {got!r}, allowed {sorted(allowed, key=repr)!r}",
+                    **label))
+        try:
+            rows = db.scan_sync(b"", len(keys) + 64)
+        except Exception as exc:  # noqa: BLE001
+            return violations + [Violation("scan-failed", detail=repr(exc),
+                                           **label)]
+        for key, _value in rows:
+            if key not in keys:
+                violations.append(Violation(
+                    "phantom-key", key=key,
+                    detail="recovered a key the workload never wrote",
+                    **label))
+        return violations
+
+    # -- clause 3: MANIFEST soundness -----------------------------------
+
+    def _check_manifest_refs(self, env: Any, fs: Any, db: Any,
+                             label: Dict[str, str]) -> List[Violation]:
+        violations: List[Violation] = []
+        for meta in db.versions.current.live_numbers().values():
+            if not fs.exists(meta.container):
+                violations.append(Violation(
+                    "dangling-table", detail=f"{meta.container} missing "
+                    f"(table {meta.number})", **label))
+                continue
+            if meta.offset + meta.length > fs.file_size(meta.container):
+                violations.append(Violation(
+                    "table-out-of-bounds",
+                    detail=f"table {meta.number} at {meta.container}:"
+                           f"{meta.offset}+{meta.length} exceeds file size",
+                    **label))
+                continue
+
+            def probe(meta=meta) -> Generator[Any, Any, None]:
+                """Open table ``meta`` and decode every entry."""
+                meter = db._meter()
+                reader = yield from db.table_cache.find_table(
+                    meta.number, meta.container, meta.offset, meta.length,
+                    meter)
+                yield from reader.iter_entries(meter)
+
+            try:
+                env.run_until(env.process(probe()))
+            except Exception as exc:  # noqa: BLE001 - CorruptionError et al.
+                violations.append(Violation(
+                    "corrupt-table",
+                    detail=f"table {meta.number} in {meta.container}: "
+                           f"{exc!r}", **label))
+        return violations
+
+    # -- clause 4: recovery convergence ---------------------------------
+
+    def _check_fixed_point(self, env: Any, fs: Any, db: Any,
+                           state: Optional[OracleState],
+                           label: Dict[str, str]) -> List[Violation]:
+        count = (len(state.keys()) if state is not None else 64) + 64
+        try:
+            env.run_until(env.process(db.wait_idle()))
+            first = db.scan_sync(b"", count)
+            db.close_sync()
+            fs.crash(survive_probability=0.0)
+            db2 = self.engine_cls.open_sync(env, fs, self.options.copy(),
+                                            self.dbname)
+            second = db2.scan_sync(b"", count)
+            db2.close_sync()
+        except Exception as exc:  # noqa: BLE001
+            return [Violation("reopen-after-reopen-failed", detail=repr(exc),
+                              **label)]
+        if first != second:
+            delta = (set(first) ^ set(second))
+            return [Violation(
+                "not-a-fixed-point",
+                detail=f"{len(delta)} rows differ between first and second "
+                       f"recovery (e.g. {sorted(delta)[:2]!r})", **label)]
+        return []

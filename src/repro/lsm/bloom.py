@@ -44,9 +44,11 @@ class BloomFilter:
 
     @property
     def size_bytes(self) -> int:
+        """Size of the filter bitmap in bytes."""
         return len(self._bits)
 
     def add(self, key: bytes) -> None:
+        """Insert ``key`` into the filter."""
         h = _base_hash(key)
         delta = ((h >> 17) | (h << 15)) & 0xFFFFFFFF
         for _ in range(self.num_probes):
@@ -55,10 +57,12 @@ class BloomFilter:
             h = (h + delta) & 0xFFFFFFFF
 
     def add_all(self, keys: Iterable[bytes]) -> None:
+        """Insert every key of ``keys``."""
         for key in keys:
             self.add(key)
 
     def may_contain(self, key: bytes) -> bool:
+        """True if ``key`` may be present; False is definitive."""
         h = _base_hash(key)
         delta = ((h >> 17) | (h << 15)) & 0xFFFFFFFF
         for _ in range(self.num_probes):
@@ -71,10 +75,12 @@ class BloomFilter:
     # -- serialization ------------------------------------------------------
 
     def encode(self) -> bytes:
+        """Serialize the filter (probe count + bitmap)."""
         return bytes([self.num_probes, self.bits_per_key]) + bytes(self._bits)
 
     @classmethod
     def decode(cls, data: bytes) -> "BloomFilter":
+        """Rebuild a filter from :meth:`encode` output."""
         if len(data) < 2:
             raise ValueError("bloom filter blob too short")
         filt = cls.__new__(cls)

@@ -42,14 +42,17 @@ class LRUCache:
 
     @property
     def charged(self) -> int:
+        """Total charge currently held by resident entries."""
         return self._charge
 
     @property
     def hit_ratio(self) -> float:
+        """hits / lookups, 0.0 before any lookup."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
     def get(self, key: Hashable) -> Optional[Any]:
+        """Look up ``key``, promoting it to most-recently-used on a hit."""
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
@@ -64,6 +67,7 @@ class LRUCache:
         return entry[0] if entry is not None else None
 
     def put(self, key: Hashable, value: Any, charge: int = 1) -> None:
+        """Insert ``key`` at ``charge``, evicting LRU entries to fit."""
         if key in self._entries:
             _old, old_charge = self._entries.pop(key)
             self._charge -= old_charge
@@ -78,11 +82,13 @@ class LRUCache:
             self.evictions += 1
 
     def remove(self, key: Hashable) -> None:
+        """Drop ``key`` if present."""
         entry = self._entries.pop(key, None)
         if entry is not None:
             self._charge -= entry[1]
 
     def clear(self) -> None:
+        """Drop every entry."""
         self._entries.clear()
         self._charge = 0
 
@@ -114,14 +120,17 @@ class TableCache:
 
     @property
     def hits(self) -> int:
+        """Number of table lookups served from the cache."""
         return self._cache.hits
 
     @property
     def misses(self) -> int:
+        """Number of table lookups that had to open and parse the table."""
         return self._cache.misses
 
     @property
     def hit_ratio(self) -> float:
+        """hits / lookups, 0.0 before any lookup."""
         return self._cache.hit_ratio
 
     def __len__(self) -> int:
@@ -145,7 +154,9 @@ class TableCache:
         return reader
 
     def evict(self, uid: int) -> None:
+        """Drop the cached reader for table ``uid``, if any."""
         self._cache.remove(uid)
 
     def clear(self) -> None:
+        """Drop every cached reader."""
         self._cache.clear()

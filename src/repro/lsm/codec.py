@@ -82,20 +82,24 @@ def decode_varint(data: bytes, offset: int = 0) -> Tuple[int, int]:
 
 
 def encode_fixed32(value: int) -> bytes:
+    """Encode ``value`` as 4 little-endian bytes."""
     return _FIXED32.pack(value)
 
 
 def decode_fixed32(data: bytes, offset: int = 0) -> int:
+    """Decode 4 little-endian bytes at ``offset``."""
     if offset + 4 > len(data):
         raise CorruptionError("truncated fixed32")
     return _FIXED32.unpack_from(data, offset)[0]
 
 
 def encode_fixed64(value: int) -> bytes:
+    """Encode ``value`` as 8 little-endian bytes."""
     return _FIXED64.pack(value)
 
 
 def decode_fixed64(data: bytes, offset: int = 0) -> int:
+    """Decode 8 little-endian bytes at ``offset``."""
     if offset + 8 > len(data):
         raise CorruptionError("truncated fixed64")
     return _FIXED64.unpack_from(data, offset)[0]
@@ -107,6 +111,7 @@ def encode_length_prefixed(data: bytes) -> bytes:
 
 
 def decode_length_prefixed(data: bytes, offset: int = 0) -> Tuple[bytes, int]:
+    """Decode a length-prefixed blob; returns ``(blob, next_offset)``."""
     length, pos = decode_varint(data, offset)
     end = pos + length
     if end > len(data):

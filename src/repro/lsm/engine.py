@@ -62,6 +62,7 @@ class EngineStats:
     tables_probed: int = 0
 
     def snapshot(self) -> "EngineStats":
+        """An independent copy of the current counters."""
         return EngineStats(**vars(self))
 
 
@@ -78,10 +79,12 @@ class Compaction:
 
     @property
     def inputs(self) -> List[FileMetaData]:
+        """Every input table of this compaction (victims + overlaps)."""
         return self.victims + self.overlaps
 
     @property
     def output_level(self) -> int:
+        """The level receiving this compaction's outputs."""
         return self.level if self.in_place else self.level + 1
 
 
@@ -103,6 +106,7 @@ class Snapshot:
 
     @property
     def released(self) -> bool:
+        """True once the snapshot has been released."""
         return self._released
 
     def __enter__(self) -> "Snapshot":
@@ -147,12 +151,14 @@ class PerTableFileSink(OutputSink):
 
     def next_handle(self, table_number: int
                     ) -> Generator[Event, Any, Tuple[FileHandle, str]]:
+        """Create one physical ``.ldb`` file for the next table."""
         name = f"{self.dbname}/{table_number:06d}.ldb"
         handle = yield from self.fs.create(name)
         self._handles.append(handle)
         return handle, name
 
     def seal(self) -> Generator[Event, Any, None]:
+        """Seal every written file: one fsync (or fdatabarrier) each."""
         for handle in self._handles:
             if self.ordered_only:
                 yield from handle.fdatabarrier()
@@ -229,6 +235,7 @@ class LSMEngine:
     @classmethod
     def open_sync(cls, env: Environment, fs: SimFS, options: Options,
                   dbname: str = "db") -> "LSMEngine":
+        """Open (recovering if needed) and return the engine, synchronously."""
         return env.run_until(env.process(cls.open(env, fs, options, dbname)))
 
     def _start_workers(self) -> None:
@@ -268,6 +275,7 @@ class LSMEngine:
             yield from self._wal_handle.fsync()
 
     def close_sync(self) -> None:
+        """Flush the WAL tail, stop background workers, release the lock."""
         self.env.run_until(self.env.process(self.close()))
 
     # ------------------------------------------------------------------
@@ -296,12 +304,14 @@ class LSMEngine:
     # ------------------------------------------------------------------
 
     def put(self, key: bytes, value: bytes) -> Generator[Event, Any, None]:
+        """Write ``key -> value`` (coroutine; durability per ``wal_sync``)."""
         batch = WriteBatch()
         batch.put(key, value)
         self.stats.puts += 1
         yield from self.write(batch)
 
     def delete(self, key: bytes) -> Generator[Event, Any, None]:
+        """Write a deletion tombstone for ``key`` (coroutine)."""
         batch = WriteBatch()
         batch.delete(key)
         self.stats.deletes += 1
@@ -320,6 +330,10 @@ class LSMEngine:
             first_seq = self.versions.last_sequence + 1
             self.versions.last_sequence += len(batch)
             self._wal_writer.append(batch.encode(first_seq), meter)
+            # Crash site: the record is in the page cache but (if
+            # wal_sync) not yet acknowledged-durable.
+            self.fs.fault_site("wal.append",
+                               wal=self._wal_name(self._wal_number))
             if self.options.wal_sync:
                 yield from self._wal_handle.fdatasync()
             seq = first_seq
@@ -399,23 +413,28 @@ class LSMEngine:
             self._snapshots[sequence] = count - 1
 
     def live_snapshot_sequences(self) -> List[int]:
+        """Sequence numbers pinned by live snapshots, ascending."""
         return sorted(self._snapshots)
 
     # sync facades -------------------------------------------------------
 
     def put_sync(self, key: bytes, value: bytes) -> None:
+        """Blocking wrapper around :meth:`put`."""
         self.env.run_until(self.env.process(self.put(key, value)))
 
     def delete_sync(self, key: bytes) -> None:
+        """Blocking wrapper around :meth:`delete`."""
         self.env.run_until(self.env.process(self.delete(key)))
 
     def get_sync(self, key: bytes,
                  snapshot: Optional[Snapshot] = None) -> Optional[bytes]:
+        """Blocking wrapper around :meth:`get`."""
         return self.env.run_until(self.env.process(self.get(key, snapshot)))
 
     def scan_sync(self, start_key: bytes, count: int,
                   snapshot: Optional[Snapshot] = None
                   ) -> List[Tuple[bytes, bytes]]:
+        """Blocking wrapper around :meth:`scan`."""
         return self.env.run_until(
             self.env.process(self.scan(start_key, count, snapshot)))
 
@@ -597,6 +616,7 @@ class LSMEngine:
         return None
 
     def has_pending_work(self) -> bool:
+        """True while any flush or compaction is queued or running."""
         if self._imm is not None or self._flush_in_progress:
             return True
         if self._compactions_in_progress:
@@ -907,6 +927,10 @@ class LSMEngine:
     def _finish_builder(self, builder: SSTableBuilder, number: int,
                         container: str) -> FileMetaData:
         info = builder.finish()
+        # Crash site: the table's bytes are complete but the output set
+        # is not sealed yet (mid-compaction, between LSST cuts).
+        self.fs.fault_site("compaction.table_sealed",
+                           table=number, container=container)
         return FileMetaData(
             number=number, container=container, offset=info.base_offset,
             length=info.length, smallest=info.smallest, largest=info.largest,
@@ -1009,9 +1033,11 @@ class LSMEngine:
     # ------------------------------------------------------------------
 
     def level_table_counts(self) -> List[int]:
+        """Number of tables at each level, shallowest first."""
         return [len(level) for level in self.versions.current.files]
 
     def level_byte_sizes(self) -> List[int]:
+        """Total table bytes at each level, shallowest first."""
         version = self.versions.current
         return [version.level_bytes(level) for level in range(version.num_levels)]
 

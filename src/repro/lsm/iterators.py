@@ -53,6 +53,7 @@ def collapse_versions(entries: Iterable[Entry], drop_tombstones: bool,
     def bucket(seq: int) -> int:
         # Two versions in the same bucket are separated by no snapshot,
         # so the older one is invisible to every reader.
+        """The snapshot interval ``seq`` falls into."""
         return bisect.bisect_left(snapshots, seq)
 
     last_key: bytes = None  # type: ignore[assignment]

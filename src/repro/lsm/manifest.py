@@ -53,20 +53,25 @@ class VersionEdit:
         self.new_guards: List[Tuple[int, bytes]] = []
 
     def delete_file(self, level: int, number: int) -> None:
+        """Record the removal of table ``number`` from ``level``."""
         self.deleted_files.append((level, number))
 
     def add_file(self, level: int, meta: FileMetaData) -> None:
+        """Record the addition of table ``meta`` at ``level``."""
         self.new_files.append((level, meta))
 
     def add_guard(self, level: int, key: bytes) -> None:
+        """Record a new guard key at ``level`` (PebblesDB)."""
         self.new_guards.append((level, key))
 
     def set_compact_pointer(self, level: int, key: bytes) -> None:
+        """Record where the next compaction of ``level`` should start."""
         self.compact_pointers.append((level, key))
 
     # -- codec ---------------------------------------------------------------
 
     def encode(self) -> bytes:
+        """Serialize this edit as one MANIFEST record payload."""
         out = bytearray()
         if self.log_number is not None:
             out.extend(encode_varint(_TAG_LOG_NUMBER))
@@ -103,6 +108,7 @@ class VersionEdit:
 
     @classmethod
     def decode(cls, data: bytes) -> "VersionEdit":
+        """Parse a MANIFEST record payload back into an edit."""
         edit = cls()
         pos = 0
         while pos < len(data):
@@ -173,6 +179,7 @@ class VersionSet:
         return f"{self.dbname}/CURRENT"
 
     def new_file_number(self) -> int:
+        """Allocate the next unused file number."""
         number = self.next_file_number
         self.next_file_number += 1
         return number
@@ -250,7 +257,14 @@ class VersionSet:
                                   new_files=len(edit.new_files),
                                   deleted=len(edit.deleted_files)):
             self._manifest_writer.append(edit.encode(), meter)
+            # Crash site: the edit is appended but not yet committed.
+            self.fs.fault_site("manifest.append",
+                               manifest=self._manifest_handle.name)
             yield from self._manifest_handle.fsync()
+            # Crash site: the commit mark is durable; cleanup of the
+            # superseded tables has not run yet.
+            self.fs.fault_site("manifest.commit",
+                               manifest=self._manifest_handle.name)
         self.manifest_writes += 1
         self._apply(edit)
 
@@ -312,3 +326,7 @@ class VersionSet:
         tmp.append(f"MANIFEST-{self.manifest_file_number:06d}".encode())
         yield from tmp.fsync()
         yield from self.fs.rename(tmp_name, self._current_name())
+        # Crash site: CURRENT now names the new manifest; the old one
+        # still exists (manifest-roll window).
+        self.fs.fault_site("manifest.current_rename",
+                           manifest=self._manifest_name(self.manifest_file_number))

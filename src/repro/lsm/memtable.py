@@ -44,6 +44,7 @@ class MemTable:
 
     @property
     def approximate_memory_usage(self) -> int:
+        """Approximate bytes of key/value payload held."""
         return self._bytes
 
     def add(self, sequence: int, value_type: int, user_key: bytes,
@@ -83,6 +84,7 @@ class MemTable:
 
     @property
     def smallest_key(self) -> Optional[bytes]:
+        """The smallest user key present, or None when empty."""
         for user_key, _seq, _t, _v in self.entries():
             return user_key
         return None

@@ -125,6 +125,7 @@ class Options:
     seed: int = 0
 
     def validate(self) -> None:
+        """Raise :class:`ValueError` on inconsistent settings."""
         if self.memtable_size <= 0 or self.sstable_size <= 0:
             raise ValueError("memtable_size and sstable_size must be positive")
         if self.l0_slowdown_trigger > self.l0_stop_trigger:
@@ -165,4 +166,5 @@ class Options:
         return replace(self, **updates)
 
     def copy(self, **updates) -> "Options":
+        """A copy of these options with ``updates`` applied."""
         return replace(self, **updates)

@@ -167,6 +167,7 @@ class SSTableBuilder:
 
     @property
     def num_entries(self) -> int:
+        """Number of entries added so far."""
         return self._num_entries
 
     @property
@@ -178,9 +179,11 @@ class SSTableBuilder:
 
     @property
     def current_user_key(self) -> Optional[bytes]:
+        """The most recently added user key, or None."""
         return self._last_key
 
     def add(self, user_key: bytes, seq: int, value_type: int, value: bytes) -> None:
+        """Append one entry; user keys must arrive in sorted order."""
         if self.finished:
             raise RuntimeError("builder already finished")
         if self._largest is not None and user_key < self._largest:
@@ -337,6 +340,7 @@ class SSTableReader:
     # -- reads ----------------------------------------------------------
 
     def may_contain(self, user_key: bytes, meter: Optional[CpuMeter] = None) -> bool:
+        """Bloom-filter check: False means definitely absent."""
         if meter is not None:
             meter.charge(meter.model.bloom_probe)
         return self.bloom.may_contain(user_key)

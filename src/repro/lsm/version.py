@@ -59,29 +59,37 @@ class Version:
 
     @property
     def num_levels(self) -> int:
+        """Number of levels in this version."""
         return len(self.files)
 
     def clone(self) -> "Version":
+        """An independent copy of this version's per-level file lists."""
         version = Version(self.num_levels)
         version.files = [list(level) for level in self.files]
         return version
 
     def num_files(self, level: int) -> int:
+        """Number of tables at ``level``."""
         return len(self.files[level])
 
     def level_bytes(self, level: int) -> int:
+        """Total table bytes at ``level``."""
         return sum(f.length for f in self.files[level])
 
     def total_bytes(self) -> int:
+        """Total table bytes across all levels."""
         return sum(self.level_bytes(level) for level in range(self.num_levels))
 
     def total_files(self) -> int:
+        """Total table count across all levels."""
         return sum(len(level) for level in self.files)
 
     def live_numbers(self) -> Dict[int, FileMetaData]:
+        """Mapping ``table number -> metadata`` for every referenced table."""
         return {f.number: f for level in self.files for f in level}
 
     def deepest_nonempty_level(self) -> int:
+        """The deepest level holding at least one table."""
         deepest = 0
         for level in range(self.num_levels):
             if self.files[level]:
@@ -91,6 +99,7 @@ class Version:
     # -- placement ---------------------------------------------------------
 
     def add_file(self, level: int, meta: FileMetaData) -> None:
+        """Insert ``meta`` at ``level``, keeping the level sorted."""
         files = self.files[level]
         if level == 0:
             files.append(meta)
@@ -100,6 +109,7 @@ class Version:
             files.insert(index, meta)
 
     def remove_file(self, level: int, number: int) -> bool:
+        """Remove table ``number`` from ``level``; True if it was present."""
         files = self.files[level]
         for index, meta in enumerate(files):
             if meta.number == number:

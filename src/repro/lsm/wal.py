@@ -46,9 +46,11 @@ class WriteBatch:
         self.ops: List[Tuple[int, bytes, bytes]] = []
 
     def put(self, key: bytes, value: bytes) -> None:
+        """Buffer an insert of ``key -> value`` in this batch."""
         self.ops.append((VALUE_TYPE_VALUE, key, value))
 
     def delete(self, key: bytes) -> None:
+        """Buffer a deletion tombstone for ``key``."""
         self.ops.append((VALUE_TYPE_DELETION, key, b""))
 
     def __len__(self) -> int:
@@ -56,9 +58,11 @@ class WriteBatch:
 
     @property
     def byte_size(self) -> int:
+        """Encoded size of the batch payload in bytes."""
         return sum(len(k) + len(v) + 8 for _t, k, v in self.ops)
 
     def encode(self, first_sequence: int) -> bytes:
+        """Serialize with sequence numbers starting at ``first_sequence``."""
         out = bytearray(encode_fixed64(first_sequence))
         out.extend(encode_varint(len(self.ops)))
         for value_type, key, value in self.ops:
@@ -70,6 +74,7 @@ class WriteBatch:
 
     @classmethod
     def decode(cls, data: bytes) -> Tuple[int, "WriteBatch"]:
+        """Parse an encoded batch; returns ``(first_sequence, batch)``."""
         first_sequence = decode_fixed64(data, 0)
         count, pos = decode_varint(data, 8)
         batch = cls()
@@ -93,6 +98,7 @@ class LogWriter:
         self.records_written = 0
 
     def append(self, payload: bytes, meter: Optional[CpuMeter] = None) -> None:
+        """Frame ``payload`` with length + CRC and write it to the log file."""
         frame = encode_fixed32(len(payload)) + encode_fixed32(crc32(payload)) + payload
         self.handle.append(frame, meter)
         self.records_written += 1

@@ -31,6 +31,7 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
     tids: Dict[str, int] = {}
 
     def tid_of(track: str) -> int:
+        """A stable small thread id for ``track``."""
         tid = tids.get(track)
         if tid is None:
             tid = tids[track] = len(tids) + 1

@@ -64,6 +64,7 @@ class Counter:
         self.value = 0
 
     def add(self, delta: int = 1) -> int:
+        """Add ``delta``; returns the new total."""
         self.value += delta
         return self.value
 
@@ -78,6 +79,7 @@ class Gauge:
         self.value = 0.0
 
     def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
         self.value = value
 
 
@@ -89,21 +91,25 @@ class MetricsRegistry:
         self._gauges: Dict[str, Gauge] = {}
 
     def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
         counter = self._counters.get(name)
         if counter is None:
             counter = self._counters[name] = Counter(name)
         return counter
 
     def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
         gauge = self._gauges.get(name)
         if gauge is None:
             gauge = self._gauges[name] = Gauge(name)
         return gauge
 
     def counters(self) -> Dict[str, int]:
+        """A snapshot of every counter's value."""
         return {name: c.value for name, c in sorted(self._counters.items())}
 
     def gauges(self) -> Dict[str, float]:
+        """A snapshot of every gauge's value."""
         return {name: g.value for name, g in sorted(self._gauges.items())}
 
     def snapshot(self) -> Dict[str, float]:
@@ -130,6 +136,7 @@ class SpanRecord:
 
     @property
     def duration(self) -> float:
+        """Span length in virtual seconds (0.0 while still open)."""
         return self.end - self.start
 
     def set(self, **args: Any) -> None:
@@ -182,6 +189,7 @@ class _ActiveSpan:
         self.record = record
 
     def set(self, **args: Any) -> None:
+        """Attach extra key/value arguments to the span record."""
         self.record.set(**args)
 
     def __enter__(self) -> SpanRecord:
@@ -197,6 +205,7 @@ class _NullSpan:
     __slots__ = ()
 
     def set(self, **args: Any) -> None:
+        """No-op (tracing disabled)."""
         pass
 
     def __enter__(self) -> "_NullSpan":
@@ -220,25 +229,32 @@ class NullTracer:
 
     def span(self, name: str, cat: str = "", track: Optional[str] = None,
              **args: Any) -> _NullSpan:
+        """No-op span context (tracing disabled)."""
         return _NULL_SPAN
 
     def instant(self, name: str, cat: str = "", track: Optional[str] = None,
                 **args: Any) -> None:
+        """No-op (tracing disabled)."""
         pass
 
     def count(self, name: str, delta: int = 1) -> None:
+        """No-op (tracing disabled)."""
         pass
 
     def gauge(self, name: str, value: float) -> None:
+        """No-op (tracing disabled)."""
         pass
 
     def attach(self, env: Any) -> "NullTracer":
+        """Return self unchanged; a NullTracer observes nothing."""
         return self
 
     def process_spawned(self, process: Any) -> None:
+        """No-op (tracing disabled)."""
         pass
 
     def process_finished(self, process: Any) -> None:
+        """No-op (tracing disabled)."""
         pass
 
 
@@ -280,6 +296,7 @@ class Tracer:
 
     @property
     def now(self) -> float:
+        """Current virtual time of the attached environment."""
         return self._offset + (self._env.now if self._env is not None else 0.0)
 
     @property
@@ -315,11 +332,13 @@ class Tracer:
         return _ActiveSpan(self, record)
 
     def finish_span(self, record: SpanRecord) -> None:
+        """Close ``record`` at the current virtual time."""
         record.end = self.now
         self._open_spans -= 1
 
     def instant(self, name: str, cat: str = "", track: Optional[str] = None,
                 **args: Any) -> None:
+        """Record a zero-duration instant event."""
         self.instants.append(
             InstantRecord(name, cat, self._track(track), self.now,
                           args or None))
@@ -330,15 +349,18 @@ class Tracer:
         self.counter_samples.append(CounterSample(name, self.now, value))
 
     def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` and record the sample."""
         self.metrics.gauge(name).set(value)
         self.counter_samples.append(CounterSample(name, self.now, value))
 
     # -- kernel hooks -----------------------------------------------------
 
     def process_spawned(self, process: Any) -> None:
+        """Register a simulated process as a named trace track."""
         self.instant("spawn", cat="kernel", track=process.name)
 
     def process_finished(self, process: Any) -> None:
+        """Note a simulated process's termination on its track."""
         self.instant("exit", cat="kernel", track=process.name)
 
     # -- queries (used by tests and the phase summary) --------------------
@@ -346,6 +368,7 @@ class Tracer:
     def find_spans(self, name: Optional[str] = None,
                    cat: Optional[str] = None,
                    track: Optional[str] = None) -> List[SpanRecord]:
+        """Every finished span matching the given filters."""
         return [s for s in self.spans
                 if (name is None or s.name == name)
                 and (cat is None or s.cat == cat)

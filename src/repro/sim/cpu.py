@@ -80,6 +80,7 @@ class CpuMeter:
 
     @property
     def pending(self) -> float:
+        """CPU seconds charged but not yet paid by :meth:`drain`."""
         return self._accumulated
 
     def drain(self) -> Generator[Event, Any, None]:

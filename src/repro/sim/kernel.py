@@ -104,6 +104,7 @@ class Event:
 
     @property
     def exception(self) -> Optional[BaseException]:
+        """The exception this event failed with, if any."""
         return self._exc
 
     def succeed(self, value: Any = None) -> "Event":
@@ -178,6 +179,7 @@ class Process(Event):
 
     @property
     def is_alive(self) -> bool:
+        """True while the process has not terminated."""
         return not self._triggered
 
     def interrupt(self, cause: Any = None) -> None:
@@ -260,6 +262,7 @@ class Environment:
 
     @tracer.setter
     def tracer(self, tracer: Any) -> None:
+        """Attach ``tracer`` to this environment (None disables)."""
         self._tracer = tracer.attach(self)
 
     # -- scheduling ----------------------------------------------------
@@ -286,6 +289,17 @@ class Environment:
         """Start a new simulated process driving ``gen``."""
         return Process(self, gen, name=name)
 
+    def call_later(self, delay: float, func: Callable[[], None]) -> None:
+        """Run ``func()`` at virtual time ``now + delay``.
+
+        A lightweight alternative to :meth:`process` for instantaneous
+        actions that need no event of their own — e.g. the fault
+        injector (:mod:`repro.faults`) arming time-based crash points.
+        """
+        if delay < 0:
+            raise ValueError(f"negative call_later delay: {delay!r}")
+        self._schedule_call(lambda _arg: func(), None, delay)
+
     def all_of(self, events: Iterable[Event]) -> Event:
         """An event that succeeds once every event in ``events`` has.
 
@@ -301,7 +315,9 @@ class Environment:
         values: List[Any] = [None] * len(events)
 
         def make_callback(index: int) -> Callable[[Event], None]:
+            """Build the completion callback for child ``index``."""
             def on_child(child: Event) -> None:
+                """Resolve the aggregate once every child has completed."""
                 if done.triggered:
                     return
                 if child._exc is not None:
@@ -323,6 +339,7 @@ class Environment:
         done = self.event()
 
         def on_child(child: Event) -> None:
+            """Resolve the aggregate with the first child result."""
             if done.triggered:
                 return
             if child._exc is not None:

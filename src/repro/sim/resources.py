@@ -43,10 +43,12 @@ class Resource:
 
     @property
     def in_use(self) -> int:
+        """Number of slots currently held."""
         return self._in_use
 
     @property
     def queue_length(self) -> int:
+        """Number of acquirers queued for a slot."""
         return len(self._waiters)
 
     def acquire(self) -> Event:
@@ -95,6 +97,7 @@ class _Held:
         self._released = False
 
     def release(self) -> None:
+        """Free one slot, granting it to the longest waiter."""
         if not self._released:
             self._released = True
             self._resource.release()
@@ -114,21 +117,25 @@ class Condition:
         self._waiters: List[Event] = []
 
     def wait(self) -> Event:
+        """An event that fires at the next notify."""
         event = self.env.event()
         self._waiters.append(event)
         return event
 
     def notify_all(self) -> None:
+        """Wake every waiter registered so far."""
         waiters, self._waiters = self._waiters, []
         for event in waiters:
             event.succeed()
 
     def notify_one(self) -> None:
+        """Wake the longest-waiting waiter."""
         if self._waiters:
             self._waiters.pop(0).succeed()
 
     @property
     def waiting(self) -> int:
+        """Number of events currently waiting on this condition."""
         return len(self._waiters)
 
 
@@ -149,18 +156,22 @@ class Gate:
 
     @property
     def is_open(self) -> bool:
+        """True while waiters pass through without blocking."""
         return self._open
 
     def close(self) -> None:
+        """Close the gate: subsequent waiters block."""
         self._open = False
 
     def open(self) -> None:
+        """Open the gate, releasing every blocked waiter."""
         self._open = True
         waiters, self._waiters = self._waiters, []
         for event in waiters:
             event.succeed()
 
     def wait(self) -> Event:
+        """An event that fires once the gate is open."""
         event = self.env.event()
         if self._open:
             event.succeed()

@@ -7,12 +7,15 @@ is an explicit model parameter; see DESIGN.md §2 for the substitution
 rationale.
 """
 
-from .device import BlockDevice, DeviceProfile, DeviceStats, HARD_DISK, NVME_SSD, SATA_SSD
-from .filesystem import FSStats, FileHandle, FileSystemError, SimFS
+from .device import (BlockDevice, DeviceError, DeviceProfile, DeviceStats,
+                     HARD_DISK, NVME_SSD, SATA_SSD)
+from .filesystem import (FSStats, FileHandle, FileSystemError, SECTOR_SIZE,
+                         SimFS)
 from .page_cache import PAGE_SIZE, PageCache
 
 __all__ = [
     "BlockDevice",
+    "DeviceError",
     "DeviceProfile",
     "DeviceStats",
     "SATA_SSD",
@@ -24,4 +27,5 @@ __all__ = [
     "FSStats",
     "PageCache",
     "PAGE_SIZE",
+    "SECTOR_SIZE",
 ]

@@ -26,7 +26,12 @@ from typing import Any, Generator
 
 from ..sim import Environment, Event, Resource
 
-__all__ = ["DeviceProfile", "DeviceStats", "BlockDevice", "SATA_SSD", "NVME_SSD", "HARD_DISK"]
+__all__ = ["DeviceProfile", "DeviceStats", "BlockDevice", "DeviceError",
+           "SATA_SSD", "NVME_SSD", "HARD_DISK"]
+
+
+class DeviceError(OSError):
+    """A device request failed permanently (transient EIO retries spent)."""
 
 
 @dataclass(frozen=True)
@@ -126,10 +131,13 @@ class DeviceStats:
     num_reads: int = 0
     num_barriers: int = 0
     num_metadata_ops: int = 0
+    #: Requests re-issued after a transient EIO (see BlockDevice.fault_hook).
+    num_eio_retries: int = 0
     busy_time: float = 0.0
     barrier_time: float = 0.0
 
     def snapshot(self) -> "DeviceStats":
+        """An independent copy of the current counters."""
         return DeviceStats(**vars(self))
 
     def delta(self, earlier: "DeviceStats") -> "DeviceStats":
@@ -141,6 +149,7 @@ class DeviceStats:
             num_reads=self.num_reads - earlier.num_reads,
             num_barriers=self.num_barriers - earlier.num_barriers,
             num_metadata_ops=self.num_metadata_ops - earlier.num_metadata_ops,
+            num_eio_retries=self.num_eio_retries - earlier.num_eio_retries,
             busy_time=self.busy_time - earlier.busy_time,
             barrier_time=self.barrier_time - earlier.barrier_time,
         )
@@ -160,6 +169,14 @@ class BlockDevice:
         self.profile = profile
         self.stats = DeviceStats()
         self._channel = Resource(env, capacity=profile.parallelism, name=f"{profile.name}-channel")
+        #: Optional fault hook ``hook(op: str) -> bool`` consulted after
+        #: each request is serviced; returning True fails that attempt
+        #: with a *transient* EIO.  The driver layer retries (paying the
+        #: device time again and counting ``stats.num_eio_retries``) up
+        #: to :attr:`max_eio_retries` times before raising
+        #: :class:`DeviceError`.  Installed by :mod:`repro.faults`.
+        self.fault_hook = None
+        self.max_eio_retries = 8
 
     # -- helpers ---------------------------------------------------------
 
@@ -174,6 +191,25 @@ class BlockDevice:
             yield from self._busy(duration)
         finally:
             self._channel.release()
+
+    def _service(self, op: str, duration: float) -> Generator[Event, Any, None]:
+        """Occupy a channel slot, retrying transient EIO faults.
+
+        Each attempt pays the full device time; a fault injected by
+        :attr:`fault_hook` costs one retry.  After ``max_eio_retries``
+        failed attempts the error is treated as persistent.
+        """
+        attempts = 0
+        while True:
+            yield from self._exclusive(duration)
+            hook = self.fault_hook
+            if hook is None or not hook(op):
+                return
+            attempts += 1
+            self.stats.num_eio_retries += 1
+            if attempts > self.max_eio_retries:
+                raise DeviceError(
+                    f"{op}: transient EIO persisted through {attempts} attempts")
 
     def _drain_all(self) -> Generator[Event, Any, list]:
         """Acquire every channel slot (queue depth reaches zero)."""
@@ -198,7 +234,7 @@ class BlockDevice:
         self.stats.num_writes += 1
         self.stats.bytes_written += nbytes
         with self.env.tracer.span("dev.write", cat="device", bytes=nbytes):
-            yield from self._exclusive(duration)
+            yield from self._service("write", duration)
 
     def read(self, nbytes: int, sequential: bool = False) -> Generator[Event, Any, None]:
         """Transfer ``nbytes`` from the device."""
@@ -212,7 +248,7 @@ class BlockDevice:
         self.stats.bytes_read += nbytes
         with self.env.tracer.span("dev.read", cat="device", bytes=nbytes,
                                   sequential=sequential):
-            yield from self._exclusive(duration)
+            yield from self._service("read", duration)
 
     def barrier(self, dirty_bytes: int = 0) -> Generator[Event, Any, None]:
         """Flush ``dirty_bytes`` and wait for durability (fsync).
@@ -248,4 +284,4 @@ class BlockDevice:
     def metadata_op(self) -> Generator[Event, Any, None]:
         """One journalled filesystem metadata operation."""
         self.stats.num_metadata_ops += 1
-        yield from self._exclusive(self.profile.metadata_op_latency)
+        yield from self._service("metadata", self.profile.metadata_op_latency)

@@ -30,7 +30,11 @@ from ..sim import CpuMeter, Environment, Event
 from .device import BlockDevice
 from .page_cache import PAGE_SIZE, PageCache
 
-__all__ = ["SimFS", "FileHandle", "FSStats", "FileSystemError"]
+__all__ = ["SimFS", "FileHandle", "FSStats", "FileSystemError", "SECTOR_SIZE"]
+
+#: Torn-write granularity: a power loss may persist any sector-aligned
+#: prefix of the page the device was transferring (see SimFS.crash).
+SECTOR_SIZE = 512
 
 
 class FileSystemError(OSError):
@@ -59,9 +63,11 @@ class FSStats:
         return self.num_fsync + self.num_fdatasync
 
     def snapshot(self) -> "FSStats":
+        """An independent copy of the current counters."""
         return FSStats(**vars(self))
 
     def delta(self, earlier: "FSStats") -> "FSStats":
+        """Counters accumulated since ``earlier`` (a prior snapshot)."""
         return FSStats(**{
             name: getattr(self, name) - getattr(earlier, name)
             for name in vars(self)
@@ -91,6 +97,7 @@ class _SimFile:
 
     @property
     def size(self) -> int:
+        """Current logical file size in bytes."""
         return len(self.data)
 
     @property
@@ -110,6 +117,7 @@ class _SimFile:
 
     def mark_dirty_range(self, offset: int, length: int,
                          epoch: int = 0) -> None:
+        """Dirty the pages covering the range, remembering preimages."""
         first = offset // PAGE_SIZE
         last = (offset + length - 1) // PAGE_SIZE
         for page in range(first, last + 1):
@@ -131,42 +139,53 @@ class FileHandle:
 
     @property
     def name(self) -> str:
+        """Name of the underlying file."""
         return self._file.name
 
     @property
     def file_id(self) -> int:
+        """Stable id of the underlying file (survives renames)."""
         return self._file.file_id
 
     @property
     def size(self) -> int:
+        """Current file size in bytes."""
         return self._file.size
 
     def close(self) -> None:
+        """Mark the handle closed."""
         self.closed = True
 
     # Thin delegates so call sites read naturally.
 
     def append(self, data: bytes, meter: Optional[CpuMeter] = None) -> int:
+        """See :meth:`SimFS.append`."""
         return self.fs.append(self, data, meter)
 
     def write_at(self, offset: int, data: bytes, meter: Optional[CpuMeter] = None) -> None:
+        """See :meth:`SimFS.write_at`."""
         self.fs.write_at(self, offset, data, meter)
 
     def read(self, offset: int, length: int,
              meter: Optional[CpuMeter] = None,
              sequential: bool = False) -> Generator[Event, Any, bytes]:
+        """See :meth:`SimFS.read`."""
         return self.fs.read(self, offset, length, meter, sequential)
 
     def fsync(self) -> Generator[Event, Any, None]:
+        """See :meth:`SimFS.fsync`."""
         return self.fs.fsync(self)
 
     def fdatasync(self) -> Generator[Event, Any, None]:
+        """See :meth:`SimFS.fdatasync`."""
         return self.fs.fdatasync(self)
 
     def fdatabarrier(self) -> Generator[Event, Any, None]:
+        """See :meth:`SimFS.fdatabarrier`."""
         return self.fs.fdatabarrier(self)
 
     def punch_hole(self, offset: int, length: int) -> None:
+        """See :meth:`SimFS.punch_hole`."""
         self.fs.punch_hole(self, offset, length)
 
 
@@ -186,6 +205,20 @@ class SimFS:
         #: device (one queue) can persist pages in epoch order.  Pages
         #: dirtied in the same epoch have no ordering between them.
         self.epoch = 0
+        #: Armed fault injector (:class:`repro.faults.CrashInjector`),
+        #: or None.  See :meth:`fault_site`.
+        self.faults: Optional[Any] = None
+
+    def fault_site(self, name: str, **detail: Any) -> None:
+        """Announce a named crash site to the armed injector, if any.
+
+        Durability-critical code paths (barrier completions, WAL/MANIFEST
+        appends, hole punches) call this with a site name from
+        :mod:`repro.faults`; with no injector armed it is a no-op, so the
+        hooks cost one attribute check in normal operation.
+        """
+        if self.faults is not None:
+            self.faults.reached(name, self, **detail)
 
     # -- namespace operations (simulation coroutines) ---------------------
 
@@ -232,12 +265,15 @@ class SimFS:
     # -- namespace queries (free) ------------------------------------------
 
     def exists(self, name: str) -> bool:
+        """True if ``name`` exists in the namespace."""
         return name in self._files
 
     def listdir(self, prefix: str = "") -> List[str]:
+        """Sorted names beginning with ``prefix``."""
         return sorted(n for n in self._files if n.startswith(prefix))
 
     def file_size(self, name: str) -> int:
+        """Size of ``name`` in bytes."""
         return self._lookup(name).size
 
     def total_allocated_bytes(self) -> int:
@@ -245,6 +281,7 @@ class SimFS:
         return sum(f.allocated_bytes for f in self._files.values())
 
     def total_logical_bytes(self) -> int:
+        """Sum of every file's logical size."""
         return sum(f.size for f in self._files.values())
 
     # -- data operations -----------------------------------------------------
@@ -338,6 +375,7 @@ class SimFS:
         with self.env.tracer.span("fsync", cat="barrier", file=file.name,
                                   dirty_pages=len(file.dirty)):
             yield from self._sync(file)
+        self.fault_site("fs.barrier", file=file.name)
 
     def fdatasync(self, handle: FileHandle) -> Generator[Event, Any, None]:
         """Like :meth:`fsync`; metadata laziness is not distinguished."""
@@ -346,6 +384,7 @@ class SimFS:
         with self.env.tracer.span("fdatasync", cat="barrier", file=file.name,
                                   dirty_pages=len(file.dirty)):
             yield from self._sync(file)
+        self.fault_site("fs.barrier", file=file.name)
 
     def fdatabarrier(self, handle: FileHandle) -> Generator[Event, Any, None]:
         """BarrierFS's ordering-only barrier (paper §5).
@@ -370,6 +409,7 @@ class SimFS:
                     self.device.write(len(pending) * PAGE_SIZE, sequential=True),
                     name="fdatabarrier-writeback")
             yield from self.device.submit_only()
+        self.fault_site("fs.fdatabarrier", file=file.name)
 
     def _sync(self, file: _SimFile) -> Generator[Event, Any, None]:
         dirty_bytes = len(file.dirty) * PAGE_SIZE
@@ -417,10 +457,13 @@ class SimFS:
             tracer.instant("hole-punch", cat="fs", file=file.name,
                            offset=offset, length=length)
             tracer.count("fs.hole_punches")
+        self.fault_site("fs.hole_punch", file=file.name,
+                        offset=offset, length=length)
 
     # -- crash injection ----------------------------------------------------
 
-    def crash(self, rng: Any = None, survive_probability: float = 0.5) -> None:
+    def crash(self, rng: Any = None, survive_probability: float = 0.5,
+              mode: str = "epoch", torn_tail: bool = False) -> None:
         """Simulate power loss.
 
         Unsynced dirty pages may persist or revert to their pre-barrier
@@ -435,7 +478,21 @@ class SimFS:
         case or ``1.0`` for all-survived; pass an ``rng`` for randomized
         subsets (the survivor set is an epoch-ordered prefix with a
         random boundary epoch).
+
+        ``mode="reorder"`` drops the cross-epoch ordering guarantee:
+        every unsynced page survives or reverts independently, modelling
+        a device that acknowledges FLUSH-less writes out of order.  It is
+        strictly more adversarial than the default and is only a valid
+        model for code paths that never relied on ``fdatabarrier``
+        ordering (see docs/FAULT_MODEL.md).
+
+        ``torn_tail=True`` additionally *tears* the most recently dirtied
+        page (requires ``rng``): a random sector-aligned prefix of the
+        new content persists while the rest of the page reverts —
+        the classic torn write of the last in-flight page.
         """
+        if mode not in ("epoch", "reorder"):
+            raise ValueError(f"unknown crash mode {mode!r}")
         dirty_pages = [(file.dirty_epoch.get(page, 0), file, page)
                        for file in self._files.values()
                        for page in file.dirty]
@@ -443,6 +500,9 @@ class SimFS:
             survivors = set((id(f), p) for _e, f, p in dirty_pages)
         elif survive_probability <= 0.0 or rng is None:
             survivors = set()
+        elif mode == "reorder":
+            survivors = set((id(f), p) for _e, f, p in dirty_pages
+                            if rng.random() < survive_probability)
         else:
             target = sum(rng.random() < survive_probability
                          for _ in dirty_pages)
@@ -460,12 +520,26 @@ class SimFS:
                 ordered[lo:hi] = boundary
             survivors = set((id(f), p) for _e, f, p in ordered[:target])
 
+        torn: Optional[tuple] = None
+        torn_keep = 0
+        if torn_tail and rng is not None and dirty_pages:
+            # The page "in flight" at the instant of power loss: highest
+            # epoch, ties broken deterministically.
+            _e, tf, tp = max(dirty_pages,
+                             key=lambda item: (item[0], item[1].file_id, item[2]))
+            torn = (id(tf), tp)
+            survivors.discard(torn)
+            torn_keep = rng.randrange(1, PAGE_SIZE // SECTOR_SIZE) * SECTOR_SIZE
+
         for file in self._files.values():
             for page, preimage in list(file.dirty.items()):
                 if (id(file), page) in survivors:
                     continue
                 start = page * PAGE_SIZE
                 end = min(start + PAGE_SIZE, file.size)
+                new_prefix = b""
+                if torn == (id(file), page):
+                    new_prefix = bytes(file.data[start:min(start + torn_keep, end)])
                 if preimage is None:
                     file.data[start:end] = b"\x00" * (end - start)
                 else:
@@ -473,6 +547,8 @@ class SimFS:
                     if start + len(preimage) < end:
                         tail = end - (start + len(preimage))
                         file.data[start + len(preimage):end] = b"\x00" * tail
+                if new_prefix:
+                    file.data[start:start + len(new_prefix)] = new_prefix
             file.dirty.clear()
             file.dirty_epoch.clear()
             file.submitted.clear()

@@ -34,6 +34,7 @@ class PageCache:
 
     @property
     def resident_bytes(self) -> int:
+        """Bytes currently resident in the cache."""
         return len(self._pages) * PAGE_SIZE
 
     def contains(self, file_id: int, page: int) -> bool:
@@ -60,6 +61,7 @@ class PageCache:
         self._pages[key] = None
 
     def insert_range(self, file_id: int, first_page: int, last_page: int) -> None:
+        """Mark pages ``first_page..last_page`` of ``file_id`` resident."""
         for page in range(first_page, last_page + 1):
             self.insert(file_id, page)
 
@@ -79,9 +81,11 @@ class PageCache:
         self._pages.clear()
 
     def resident_pages(self) -> Iterable[Tuple[int, int]]:
+        """Iterate over resident ``(file_id, page_index)`` pairs."""
         return iter(self._pages)
 
     @property
     def hit_ratio(self) -> float:
+        """hits / lookups, 0.0 before any lookup."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0

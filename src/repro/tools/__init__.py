@@ -9,6 +9,9 @@
 * :mod:`~repro.tools.traceview` — summarize a Chrome trace-event JSON
   produced by :mod:`repro.obs`
   (``python -m repro.tools.traceview trace.json``).
+* :mod:`~repro.tools.doccheck` — CI documentation checker: Markdown
+  link validation plus doctests over ``pycon`` code blocks
+  (``python -m repro.tools.doccheck``).
 """
 
 from .dump import describe_database, dump_manifest, dump_table, dump_wal

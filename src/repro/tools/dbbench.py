@@ -31,7 +31,7 @@ from ..bench.metrics import LatencyRecorder
 from ..obs import Tracer, phase_summary, write_chrome_trace
 from ..sim import Event
 
-__all__ = ["main", "run_benchmarks"]
+__all__ = ["main", "run_benchmarks", "run_crash_sweep"]
 
 BENCHMARKS = ("fillseq", "fillrandom", "overwrite", "readrandom",
               "readmissing", "readseq", "deleterandom", "compact", "stats")
@@ -57,12 +57,36 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="write a Chrome trace-event JSON of the run "
                              "(open in Perfetto) and print a phase summary")
+    parser.add_argument("--crash-sweep", action="store_true",
+                        help="instead of benchmarking, run the repro.faults "
+                             "crash-consistency sweep for --engine and exit "
+                             "non-zero on any durability violation")
     return parser
+
+
+def run_crash_sweep(args: argparse.Namespace, out=print) -> List[dict]:
+    """Handle ``--crash-sweep``: sweep crash points for one engine."""
+    from ..faults import SweepConfig, crash_sweep
+    config = SweepConfig(engines=(args.engine,),
+                         num_ops=min(args.num, 400), seed=args.seed)
+    out(f"crash sweep: engine {args.engine}, {config.num_ops} ops, "
+        f"models {', '.join(m.name for m in config.plan.models)}")
+    report = crash_sweep(config)
+    for line in report.summary_lines():
+        out(line)
+    rows = [{"benchmark": "crash-sweep", "engine": r.engine,
+             "images": r.images, "checks": r.checks,
+             "violations": len(r.violations)} for r in report.results]
+    if not report.ok:
+        raise SystemExit(1)
+    return rows
 
 
 def run_benchmarks(args: argparse.Namespace,
                    out=print) -> List[dict]:
     """Run the requested benchmark list; returns one row per benchmark."""
+    if getattr(args, "crash_sweep", False):
+        return run_crash_sweep(args, out)
     config = BenchConfig(scale=args.scale, record_count=args.num,
                          value_size=args.value_size, seed=args.seed)
     trace_path = getattr(args, "trace", None)
@@ -77,9 +101,11 @@ def run_benchmarks(args: argparse.Namespace,
     rows: List[dict] = []
 
     def key_of(index: int) -> bytes:
+        """The fixed-width key for ``index``."""
         return b"%016d" % index
 
     def timed(name: str, operation_gen) -> Generator[Event, Any, None]:
+        """Drive the operations, recording latency, and print one row."""
         recorder = LatencyRecorder()
         histogram = LatencyHistogram()
         started = stack.env.now
@@ -107,6 +133,7 @@ def run_benchmarks(args: argparse.Namespace,
             out(histogram.render())
 
     def bench(name: str) -> Generator[Event, Any, None]:
+        """Run one named benchmark."""
         if name == "fillseq":
             written_keys.extend(key_of(i) for i in range(args.num))
             yield from timed(name, (db.put(key_of(i), value)
@@ -157,6 +184,7 @@ def run_benchmarks(args: argparse.Namespace,
                              f"(choose from {', '.join(BENCHMARKS)})")
 
     def driver():
+        """Run every requested benchmark in order."""
         for name in requested:
             yield from bench(name)
 
@@ -172,6 +200,7 @@ def run_benchmarks(args: argparse.Namespace,
 
 
 def main(argv: Optional[List[str]] = None) -> List[dict]:
+    """CLI entry point: parse ``argv`` and run the benchmarks."""
     args = _parser().parse_args(argv)
     return run_benchmarks(args)
 

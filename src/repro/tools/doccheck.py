@@ -1,0 +1,140 @@
+"""doccheck: verify the repository's Markdown documentation.
+
+Two checks, both cheap enough for CI:
+
+* **Link check** — every relative link and image reference in every
+  tracked ``*.md`` file must point at an existing file (fragments like
+  ``FILE.md#section`` are checked against the file only; external
+  ``http(s)://`` and ``mailto:`` links are skipped).
+* **Doctest check** — every fenced code block tagged ``pycon`` is run
+  through :mod:`doctest` with ``src`` importable, so documented examples
+  can never rot silently.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.tools.doccheck [root]
+
+Exits non-zero listing every broken link or failing example.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+__all__ = ["check_links", "check_doctests", "find_markdown_files", "main"]
+
+#: Inline Markdown links/images: [text](target) / ![alt](target).
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Opening fence of a doctest-able block.
+_PYCON_FENCE_RE = re.compile(r"^```pycon\s*$")
+#: Directories never scanned for Markdown.
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules",
+              ".ruff_cache", "build", "dist"}
+
+
+def find_markdown_files(root: Path) -> List[Path]:
+    """Return every ``*.md`` under ``root``, skipping VCS/cache dirs."""
+    found = []
+    for path in sorted(root.rglob("*.md")):
+        if any(part in _SKIP_DIRS for part in path.parts):
+            continue
+        found.append(path)
+    return found
+
+
+def _link_targets(text: str) -> List[str]:
+    """Extract link targets from Markdown text, ignoring code blocks."""
+    targets: List[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        targets.extend(match.group(1) for match in _LINK_RE.finditer(line))
+    return targets
+
+
+def check_links(path: Path, root: Path) -> List[str]:
+    """Return error strings for relative links in ``path`` that dangle."""
+    errors = []
+    for target in _link_targets(path.read_text(encoding="utf-8")):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+            continue
+        if target.startswith("#"):  # same-file fragment
+            continue
+        plain = target.split("#", 1)[0]
+        if not plain:
+            continue
+        if plain.startswith("/"):
+            resolved = root / plain.lstrip("/")
+        else:
+            resolved = path.parent / plain
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(root)}: broken link -> {target}")
+    return errors
+
+
+def _pycon_blocks(text: str) -> List[Tuple[int, str]]:
+    """Return ``(first_line_number, block_text)`` for each pycon fence."""
+    blocks: List[Tuple[int, str]] = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        if _PYCON_FENCE_RE.match(lines[i]):
+            start = i + 1
+            body = []
+            i += 1
+            while i < len(lines) and not lines[i].startswith("```"):
+                body.append(lines[i])
+                i += 1
+            blocks.append((start + 1, "\n".join(body) + "\n"))
+        i += 1
+    return blocks
+
+
+def check_doctests(path: Path, root: Path) -> List[str]:
+    """Run each ``pycon`` block in ``path`` through doctest."""
+    errors = []
+    parser = doctest.DocTestParser()
+    runner = doctest.DocTestRunner(verbose=False,
+                                   optionflags=doctest.ELLIPSIS)
+    for lineno, body in _pycon_blocks(path.read_text(encoding="utf-8")):
+        name = f"{path.relative_to(root)}:{lineno}"
+        test = parser.get_doctest(body, {}, name, str(path), lineno)
+        if not test.examples:
+            continue
+        results = runner.run(test, clear_globs=True)
+        if results.failed:
+            errors.append(f"{name}: {results.failed} doctest example(s) "
+                          f"failed (run with -v for detail)")
+    return errors
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Check all Markdown docs under the given (or current) root."""
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]).resolve() if argv else Path.cwd()
+    files = find_markdown_files(root)
+    errors: List[str] = []
+    doctested = 0
+    for path in files:
+        errors.extend(check_links(path, root))
+        before = len(errors)
+        errors.extend(check_doctests(path, root))
+        if len(errors) == before:
+            doctested += 1
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"doccheck: {len(files)} markdown files, "
+          f"{len(errors)} problem(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

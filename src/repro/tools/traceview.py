@@ -141,6 +141,7 @@ def _parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None, out=print) -> List[dict]:
+    """CLI entry point: summarize a Chrome trace-event JSON file."""
     args = _parser().parse_args(argv)
     try:
         events = load_events(args.trace)

@@ -62,6 +62,7 @@ class UniformGenerator:
         self.rng = rng or random.Random()
 
     def next(self) -> int:
+        """Draw a uniformly random item index."""
         return self.rng.randrange(self.item_count)
 
 
@@ -98,6 +99,7 @@ class ZipfianGenerator:
                     / (1.0 - self.zeta2 / self.zeta_n))
 
     def next(self, item_count: Optional[int] = None) -> int:
+        """Draw a zipf-distributed item index."""
         if item_count is not None and item_count > self.item_count:
             self._grow_to(item_count)
         u = self.rng.random()
@@ -122,6 +124,7 @@ class ScrambledZipfianGenerator:
         self._zipfian = ZipfianGenerator(item_count, rng=rng)
 
     def next(self) -> int:
+        """Draw a zipf-popular index scattered across the keyspace."""
         rank = self._zipfian.next()
         return fnv_hash64(rank) % self.item_count
 
@@ -139,6 +142,7 @@ class LatestGenerator:
         self._zipfian = ZipfianGenerator(max(1, insert_counter.count), rng=rng)
 
     def next(self) -> int:
+        """Draw an index skewed toward the most recent insert."""
         count = max(1, self.counter.count)
         rank = self._zipfian.next(count)
         return max(0, count - 1 - rank)
@@ -151,6 +155,7 @@ class InsertCounter:
         self.count = initial
 
     def next_key(self) -> int:
+        """Claim the next insert key index."""
         key = self.count
         self.count += 1
         return key

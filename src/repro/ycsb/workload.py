@@ -44,12 +44,14 @@ class WorkloadSpec:
     is_load: bool = False
 
     def validate(self) -> None:
+        """Raise :class:`ValueError` on an inconsistent operation mix."""
         total = (self.read_prop + self.update_prop + self.insert_prop
                  + self.scan_prop + self.rmw_prop)
         if not self.is_load and abs(total - 1.0) > 1e-9:
             raise ValueError(f"{self.name}: proportions sum to {total}")
 
     def with_distribution(self, dist: str) -> "WorkloadSpec":
+        """A copy of this spec with the request distribution replaced."""
         return replace(self, request_dist=dist)
 
 
