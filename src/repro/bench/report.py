@@ -55,6 +55,9 @@ def unified_snapshot(stack, db=None,
       derived ``num_barrier_calls`` (the paper's headline count)
     * ``engine``  — :class:`~repro.lsm.engine.EngineStats` fields plus
       cache hit ratios (only when ``db`` is given)
+    * ``health``  — :class:`~repro.health.ErrorManager` counters plus
+      device ``eio_retries`` and the quarantined-table count (only when
+      ``db`` is given)
     * ``metrics`` — the :class:`~repro.obs.MetricsRegistry` counters and
       gauges (only when a tracer with metrics observes the stack)
 
@@ -74,6 +77,10 @@ def unified_snapshot(stack, db=None,
         engine["table_cache_hit_ratio"] = db.table_cache.hit_ratio
         engine["block_cache_hit_ratio"] = db.block_cache.hit_ratio
         snap["engine"] = engine
+        health = dict(db.health.snapshot())
+        health["eio_retries"] = stack.device.stats.num_eio_retries
+        health["quarantined_tables"] = len(db._quarantined)
+        snap["health"] = health
     if tracer is None:
         tracer = getattr(stack.env, "tracer", None)
     if tracer is not None and getattr(tracer, "enabled", False):

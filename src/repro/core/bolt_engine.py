@@ -35,7 +35,7 @@ from ..engines.rocksdb import RocksDBEngine, rocksdb_options
 from ..lsm import Options
 from ..lsm.engine import Compaction, Event, OutputSink
 from ..lsm.version import FileMetaData, Version
-from ..storage import SimFS
+from ..storage import FileSystemError, SimFS
 from ..sim import Environment
 from .compaction_file import CompactionFileSink
 from .fd_cache import FileDescriptorCache
@@ -154,19 +154,25 @@ class BoLTMixin:
         for meta in metas:
             if not self.fs.exists(meta.container):
                 continue
-            if live_containers.get(meta.container, 0) == 0:
-                if self.fd_cache is not None:
-                    self.fd_cache.evict(meta.container)
-                if tracer.enabled:
-                    tracer.count("bolt.containers_unlinked")
-                yield from self.fs.unlink(meta.container)
-            else:
-                handle = yield from self._container_handle(meta.container)
-                handle.punch_hole(meta.offset, meta.length)
-                if tracer.enabled:
-                    tracer.count("bolt.tables_punched")
-                    tracer.count("bolt.bytes_punched", meta.length)
-                punched_any = True
+            try:
+                if live_containers.get(meta.container, 0) == 0:
+                    if self.fd_cache is not None:
+                        self.fd_cache.evict(meta.container)
+                    if tracer.enabled:
+                        tracer.count("bolt.containers_unlinked")
+                    yield from self.fs.unlink(meta.container)
+                else:
+                    handle = yield from self._container_handle(meta.container)
+                    handle.punch_hole(meta.offset, meta.length)
+                    if tracer.enabled:
+                        tracer.count("bolt.tables_punched")
+                        tracer.count("bolt.bytes_punched", meta.length)
+                    punched_any = True
+            except FileSystemError:
+                # Concurrent cleanup batches may reference the same
+                # container; whoever loses the unlink race has nothing
+                # left to reclaim.
+                continue
         if punched_any:
             # §3.2: no fsync/fdatasync when punching holes — the lazy
             # metadata sync is deliberately free of barriers.

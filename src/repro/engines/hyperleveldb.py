@@ -65,5 +65,7 @@ def hyperleveldb_options(scale: int = 1, **overrides) -> Options:
         enable_seek_compaction=True,
         num_compaction_threads=1,
         cost_model=CostModel(write_mutex_overhead=0.2e-6),
+        # HyperLevelDB's lean background machinery retries quickly.
+        bg_error_backoff=1.0e-3,
     ).scaled(scale)
     return options.copy(**overrides) if overrides else options

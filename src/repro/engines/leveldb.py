@@ -38,6 +38,11 @@ def leveldb_options(scale: int = 1, **overrides) -> Options:
         l0_stop_trigger=12,
         enable_seek_compaction=True,
         num_compaction_threads=1,
+        # Stock LevelDB latches bg_error_ until reopen; we keep
+        # auto-resume on (the point of repro.health) but model its
+        # crude recovery with a slow, cautious retry cadence.
+        bg_error_backoff=5.0e-3,
+        bg_error_max_retries=8,
     ).scaled(scale)
     return options.copy(**overrides) if overrides else options
 

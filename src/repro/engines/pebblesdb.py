@@ -26,6 +26,7 @@ import bisect
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..lsm import LSMEngine, Options
+from ..lsm.codec import CorruptionError
 from ..lsm.engine import Compaction, Event
 from ..lsm.iterators import collapse_versions, merge_streams
 from ..lsm.manifest import VersionEdit
@@ -183,9 +184,16 @@ class PebblesDBEngine(LSMEngine):
 
         streams: List[List[Entry]] = []
         for meta in compaction.victims:
-            reader = yield from self.table_cache.find_table(
-                meta.number, meta.container, meta.offset, meta.length, meter)
-            entries = yield from reader.iter_entries(meter)
+            try:
+                reader = yield from self.table_cache.find_table(
+                    meta.number, meta.container, meta.offset, meta.length,
+                    meter)
+                entries = yield from reader.iter_entries(meter)
+            except CorruptionError as exc:
+                # Same contract as the base engine: quarantine the bad
+                # table and abort the job; the picker routes around it.
+                self._quarantine(meta, f"compaction input: {exc}")
+                raise
             streams.append(entries)
             self.stats.compaction_bytes_read += meta.length
             meter.charge(meter.model.merge_per_record * len(entries))
@@ -252,5 +260,8 @@ def pebblesdb_options(scale: int = 1, **overrides) -> Options:
         enable_seek_compaction=False,
         num_compaction_threads=1,
         cost_model=CostModel(write_mutex_overhead=0.2e-6),
+        # HyperLevelDB heritage: same quick background-error retry
+        # cadence as its parent fork.
+        bg_error_backoff=1.0e-3,
     ).scaled(scale)
     return options.copy(**overrides) if overrides else options

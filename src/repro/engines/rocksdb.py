@@ -51,5 +51,10 @@ def rocksdb_options(scale: int = 1, **overrides) -> Options:
         # write-only workloads despite its batching advantages (§4.3.1).
         cost_model=CostModel(write_mutex_overhead=2.5e-6,
                              memtable_insert=2.0e-6),
+        # RocksDB ships the most mature BGError auto-recovery of the
+        # four systems (ErrorHandler + SstFileManager): more retries,
+        # tighter backoff ceiling.
+        bg_error_max_retries=16,
+        bg_error_backoff_max=0.25,
     ).scaled(scale)
     return options.copy(**overrides) if overrides else options

@@ -53,6 +53,13 @@ from .sweep import (
     smoke_config,
     sweep_engine,
 )
+from .transient import (
+    ChaosConfig,
+    ChaosReport,
+    ChaosResult,
+    chaos_engine,
+    chaos_sweep,
+)
 
 __all__ = [
     "ALL_SITES",
@@ -81,4 +88,9 @@ __all__ = [
     "crash_sweep",
     "sweep_engine",
     "smoke_config",
+    "ChaosConfig",
+    "ChaosResult",
+    "ChaosReport",
+    "chaos_engine",
+    "chaos_sweep",
 ]

@@ -184,6 +184,11 @@ class CrashChecker:
                              label: Dict[str, str]) -> List[Violation]:
         violations: List[Violation] = []
         for meta in db.versions.current.live_numbers().values():
+            if db.versions.current.is_quarantined(meta.number):
+                # Quarantined tables are referenced on purpose (so
+                # recovery knows the bytes are suspect) but excluded
+                # from the decode contract: reads fail fast instead.
+                continue
             if not fs.exists(meta.container):
                 violations.append(Violation(
                     "dangling-table", detail=f"{meta.container} missing "

@@ -1,0 +1,269 @@
+"""Transient-fault chaos runs: the store must stay *available*.
+
+The crash sweep (:mod:`repro.faults.sweep`) proves the durability
+contract after power loss; this module proves the availability contract
+during non-crash runtime faults — the territory of
+:mod:`repro.health`:
+
+* **transient EIO** at a configurable per-request rate, absorbed by the
+  device driver's in-slot retries and, when a request exhausts them, by
+  the engine's :class:`~repro.health.ErrorManager` (pause + backoff +
+  auto-resume);
+* **one disk-full episode**: mid-run the filesystem capacity is clamped
+  to the current allocation plus a small slack, the engine must degrade
+  to read-only (writes rejected with
+  :class:`~repro.health.ReadOnlyError`, reads still served), and once
+  capacity is restored it must return to healthy and accept writes
+  again.
+
+Throughout, a :class:`~repro.faults.checker.DurabilityOracle` tracks
+acknowledgements.  Because no crash happens, the check is *exact*:
+every acknowledged write reads back its last acknowledged value, and no
+rejected write is ever visible.  A final crash + reopen then re-checks
+the durability contract on the post-chaos image.
+
+Reachable via ``python -m repro.tools.dbbench --chaos``.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Generator, List, Optional, Tuple
+
+from ..health import ReadOnlyError
+from ..obs import Tracer
+from ..sim import Environment
+from ..storage import SATA_SSD, BlockDevice, PageCache, SimFS
+from .checker import DurabilityOracle
+from .plan import TransientEIO
+from .sweep import DEFAULT_ENGINES, _system
+
+__all__ = ["ChaosConfig", "ChaosResult", "ChaosReport",
+           "chaos_engine", "chaos_sweep"]
+
+
+@dataclass
+class ChaosConfig:
+    """Sizing and fault intensity of a chaos run (CI-smoke defaults)."""
+
+    engines: Tuple[str, ...] = DEFAULT_ENGINES
+    num_ops: int = 400
+    keyspace: int = 64
+    value_size: int = 64
+    scale: int = 1024
+    seed: int = 11
+    #: Per-request probability a device attempt fails with EIO.
+    fault_rate: float = 0.05
+    #: Cap on injected EIO faults (keeps runs bounded).
+    max_eio_faults: int = 200
+    #: Fraction of the run at which the disk fills (0 disables).
+    disk_full_at: float = 0.5
+    #: Fraction of the run at which capacity is restored.
+    disk_full_until: float = 0.75
+    #: Extra allocatable bytes left when the disk "fills" — small enough
+    #: that the WAL exhausts it within the episode's write stream.
+    disk_full_slack: int = 2048
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one engine's chaos run."""
+
+    engine: str
+    ops: int = 0
+    reads: int = 0
+    writes_acked: int = 0
+    writes_rejected: int = 0
+    entered_read_only: bool = False
+    recovered: bool = False
+    eio_retries: int = 0
+    bg_errors: int = 0
+    resume_attempts: int = 0
+    time_in_degraded: float = 0.0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the run upheld the availability contract."""
+        return not self.violations and self.recovered
+
+
+@dataclass
+class ChaosReport:
+    """Aggregated chaos results for all engines."""
+
+    results: List[ChaosResult]
+
+    @property
+    def ok(self) -> bool:
+        """True when every engine's run passed."""
+        return all(r.ok for r in self.results)
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable per-engine summary (what dbbench prints)."""
+        lines = []
+        for r in self.results:
+            status = "ok" if r.ok else (
+                f"{len(r.violations)} VIOLATIONS" if r.violations
+                else "NOT RECOVERED")
+            lines.append(
+                f"{r.engine:12s}: {r.ops:5d} ops ({r.reads} reads, "
+                f"{r.writes_acked} acked, {r.writes_rejected} rejected), "
+                f"{r.eio_retries} EIO retries, {r.bg_errors} bg errors, "
+                f"{r.resume_attempts} resumes, "
+                f"read-only={'yes' if r.entered_read_only else 'no'}: "
+                f"{status}")
+            for violation in r.violations[:8]:
+                lines.append(f"    {violation}")
+        lines.append("chaos: " + ("PASS" if self.ok else "FAIL"))
+        return lines
+
+
+def _sleep(env: Environment, delay: float) -> Generator[Any, Any, None]:
+    yield env.timeout(delay)
+
+
+def chaos_engine(engine_key: str, config: ChaosConfig) -> ChaosResult:
+    """Run one engine through the transient-fault chaos schedule."""
+    spec = _system(engine_key)
+    tracer = Tracer()
+    env = Environment(tracer=tracer)
+    device = BlockDevice(env, SATA_SSD.scaled(config.scale))
+    # Deliberately tiny caches and memtable: the workload must actually
+    # flush, compact and read from the device, so the EIO hook exercises
+    # the retry/absorption machinery and the disk-full episode lands in
+    # background paths too, not only the WAL.
+    fs = SimFS(env, device, PageCache(16 << 10))
+    options = spec.options(config.scale).copy(
+        wal_sync=True, memtable_size=4096, block_cache_bytes=4096)
+    result = ChaosResult(engine=engine_key)
+
+    db = spec.engine_cls.open_sync(env, fs, options, "db")
+    # Arm EIO injection only after open: recovery-path availability is
+    # the crash sweep's subject, steady-state availability is ours.
+    eio = TransientEIO(
+        config.fault_rate,
+        random.Random(config.seed ^ zlib.crc32(engine_key.encode())),
+        max_failures=config.max_eio_faults)
+    device.fault_hook = eio
+
+    oracle = DurabilityOracle()
+    rejected: List[Tuple[bytes, bytes]] = []
+    rng = random.Random(config.seed)
+    full_at = (int(config.num_ops * config.disk_full_at)
+               if config.disk_full_at else None)
+    full_until = int(config.num_ops * config.disk_full_until)
+
+    for i in range(config.num_ops):
+        if full_at is not None and i == full_at:
+            fs.set_capacity(fs.total_allocated_bytes()
+                            + config.disk_full_slack)
+        if full_at is not None and i == full_until:
+            fs.set_capacity(None)
+            db.health.poke()
+        if db.health.read_only:
+            result.entered_read_only = True
+
+        result.ops += 1
+        key = b"user%06d" % rng.randrange(config.keyspace)
+        if rng.random() < 0.5:
+            # YCSB-A style update; unique value so a rejected write can
+            # be told apart from any acknowledged one.
+            value = b"v%08d-" % i + b"x" * config.value_size
+            oracle.begin(key, value)
+            try:
+                db.put_sync(key, value)
+            except ReadOnlyError:
+                result.entered_read_only = True
+                result.writes_rejected += 1
+                rejected.append((key, value))
+                # Rejected before the WAL: guaranteed to never surface,
+                # so it is not a legitimate pending value either.
+                pending = oracle.pending.get(key)
+                if pending is not None:
+                    pending.remove(value)
+                    if not pending:
+                        del oracle.pending[key]
+            else:
+                result.writes_acked += 1
+                oracle.acked(key, value)
+        else:
+            result.reads += 1
+            try:
+                got = db.get_sync(key)
+            except Exception as exc:  # noqa: BLE001 - reads must not fail
+                result.violations.append(
+                    f"[read-failed] op {i} key={key!r}: {exc!r}")
+                continue
+            allowed = oracle.snapshot().allowed(key)
+            if got not in allowed:
+                result.violations.append(
+                    f"[stale-read] op {i} key={key!r}: got {got!r}")
+
+    # Settle: capacity is unbounded again, cleanup/auto-resume must
+    # bring the store back to healthy on their own clock.
+    if fs.capacity_bytes is not None:
+        fs.set_capacity(None)
+    db.health.poke()
+    for _ in range(200):
+        if not db.health.degraded:
+            break
+        env.run_until(env.process(_sleep(env, 0.01)))
+    result.recovered = not db.health.degraded
+    if not result.recovered:
+        result.violations.append(
+            f"[not-recovered] still degraded at end: {db.health.reason}")
+
+    # Exact no-crash check: every ack readable, no rejected write visible.
+    state = oracle.snapshot()
+    if result.recovered:
+        for key in sorted(state.durable):
+            try:
+                got = db.get_sync(key)
+            except Exception as exc:  # noqa: BLE001
+                result.violations.append(
+                    f"[final-read-failed] key={key!r}: {exc!r}")
+                continue
+            if got not in state.allowed(key):
+                result.violations.append(
+                    f"[durability] key={key!r}: read {got!r}")
+        for key, value in rejected:
+            if db.get_sync(key) == value:
+                result.violations.append(
+                    f"[rejected-write-visible] key={key!r} value={value!r}")
+
+        # Post-chaos durability: crash with everything unsynced lost,
+        # reopen, and the acknowledged state must still be intact.
+        device.fault_hook = None
+        env.run_until(env.process(db.flush_all()))
+        db.close_sync()
+        fs.crash(survive_probability=0.0)
+        db2 = spec.engine_cls.open_sync(env, fs, options.copy(), "db")
+        for key in sorted(state.keys()):
+            got = db2.get_sync(key)
+            if got not in state.allowed(key):
+                result.violations.append(
+                    f"[post-crash-durability] key={key!r}: read {got!r}")
+        for row_key, _row_value in db2.scan_sync(b"", config.keyspace + 64):
+            if row_key not in state.keys():
+                result.violations.append(
+                    f"[phantom-key] {row_key!r} after reopen")
+        db2.close_sync()
+
+    result.eio_retries = device.stats.num_eio_retries
+    result.bg_errors = db.health.bg_error_count
+    result.resume_attempts = db.health.resume_attempts
+    result.time_in_degraded = db.health.current_degraded_time()
+    if full_at is not None and not result.entered_read_only:
+        result.violations.append(
+            "[no-degradation] disk-full episode never entered read-only "
+            "(slack too large for this workload?)")
+    return result
+
+
+def chaos_sweep(config: Optional[ChaosConfig] = None) -> ChaosReport:
+    """Run :func:`chaos_engine` for every engine in the config."""
+    config = config or ChaosConfig()
+    return ChaosReport([chaos_engine(key, config) for key in config.engines])

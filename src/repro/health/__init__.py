@@ -1,0 +1,25 @@
+"""Runtime error management: severity policy, degraded modes, scrubbing.
+
+The crash harness (:mod:`repro.faults`) proves the durability contract
+*after* a failure; this package keeps the store standing *during* one.
+See :class:`ErrorManager` for the severity state machine (healthy →
+degraded → read-only → recovered), :class:`Scrubber` for background
+corruption detection, and docs/FAULT_MODEL.md for the fault taxonomy.
+"""
+
+from .manager import (ErrorManager, ReadOnlyError, SEVERITY_FATAL,
+                      SEVERITY_HARD, SEVERITY_SOFT, SitePolicy,
+                      default_policies)
+from .scrubber import ScrubReport, Scrubber
+
+__all__ = [
+    "ErrorManager",
+    "ReadOnlyError",
+    "SitePolicy",
+    "default_policies",
+    "SEVERITY_SOFT",
+    "SEVERITY_HARD",
+    "SEVERITY_FATAL",
+    "Scrubber",
+    "ScrubReport",
+]

@@ -18,9 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Generator, Iterable, List, Optional, Set, Tuple
 
+from ..health import ErrorManager, ReadOnlyError, Scrubber
 from ..sim import Condition, CpuMeter, Environment, Event, Interrupt, Resource
-from ..storage import FileHandle, SimFS
+from ..storage import DeviceError, DiskFullError, FileHandle, SimFS
 from .cache import BlockCache, TableCache
+from .codec import CorruptionError
 from .iterators import collapse_versions, merge_scan, merge_streams
 from .memtable import FOUND, NOT_FOUND, MemTable
 from .manifest import VersionEdit, VersionSet
@@ -215,6 +217,17 @@ class LSMEngine:
         #: one version per snapshot interval (LevelDB's rule).
         self._snapshots: Dict[int, int] = {}
 
+        #: Table numbers quarantined for corruption.  Mirrors the live
+        #: version's set but also covers versions pinned by snapshots,
+        #: so every read path checks here.
+        self._quarantined: Set[int] = set()
+        self.health = ErrorManager(
+            env, options, dbname,
+            space_check=self._space_available,
+            on_pause=self._on_health_pause,
+            on_resume=self._on_health_resume)
+        self.scrubber: Optional[Scrubber] = None
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -242,6 +255,12 @@ class LSMEngine:
         for worker_id in range(self.options.num_compaction_threads):
             proc = self.env.process(self._background_worker(),
                                     name=f"{self.dbname}-bg{worker_id}")
+            proc.add_callback(self._on_worker_exit)
+            self._workers.append(proc)
+        if self.options.enable_scrubber:
+            self.scrubber = Scrubber(self)
+            proc = self.env.process(self.scrubber.run(),
+                                    name=f"{self.dbname}-scrub")
             proc.add_callback(self._on_worker_exit)
             self._workers.append(proc)
 
@@ -300,6 +319,89 @@ class LSMEngine:
         return f"{self.dbname}/{number:06d}.log"
 
     # ------------------------------------------------------------------
+    # health integration
+    # ------------------------------------------------------------------
+
+    def _space_available(self) -> bool:
+        """True when the filesystem has headroom for one more memtable.
+
+        :class:`ErrorManager` gates ENOSPC auto-resume on this so the
+        store does not flap straight back into disk-full.
+        """
+        free = self.fs.free_bytes()
+        if free is None:
+            return True
+        headroom = self.options.enospc_resume_headroom
+        if headroom is None:
+            headroom = self.options.memtable_size
+        return free >= headroom
+
+    def _on_health_pause(self) -> None:
+        # Wake writers stalled in _stall() so they observe the degraded
+        # state instead of waiting for background progress that will not
+        # come until resume.
+        self._bg_done.notify_all()
+
+    def _on_health_resume(self) -> None:
+        self._bg_work.notify_all()
+        self._bg_done.notify_all()
+
+    def _on_background_error(self, site: str, exc: BaseException) -> None:
+        """Route a known background failure through the error manager.
+
+        A failure after the MANIFEST append but before its apply leaves
+        the version state in doubt: retrying could double-apply, so that
+        window escalates to the fatal ``manifest_in_doubt`` site.
+        """
+        if self.versions.manifest_in_doubt:
+            site = "manifest_in_doubt"
+        self.health.report(site, exc)
+
+    def _quarantine(self, meta: FileMetaData, reason: str) -> None:
+        """Quarantine a corrupt table: reads fail fast, compaction skips
+        it, and a background process persists the mark in the MANIFEST."""
+        if meta.number in self._quarantined:
+            return
+        self._quarantined.add(meta.number)
+        # Permanently busy: the pickers must never feed corrupt bytes
+        # back into a compaction.
+        self._busy_tables.add(meta.number)
+        self.versions.quarantine_now(meta.number)
+        self.table_cache.evict(meta.number)
+        tracer = self.env.tracer
+        tracer.count("health.quarantined_tables")
+        if tracer.enabled:
+            tracer.instant("quarantine", cat="health", table=meta.number,
+                           container=meta.container, reason=reason)
+        if not self._closed:
+            proc = self.env.process(self._persist_quarantine(meta.number),
+                                    name=f"{self.dbname}-quarantine")
+            proc.add_callback(self._on_worker_exit)
+
+    def _persist_quarantine(self, number: int
+                            ) -> Generator[Event, Any, None]:
+        edit = VersionEdit()
+        edit.quarantine_file(number)
+        try:
+            yield from self.versions.log_and_apply(edit, None)
+        except (DeviceError, DiskFullError) as exc:
+            # The in-memory mark already protects reads; losing the
+            # durable record only costs a re-scrub after restart.
+            self._on_background_error("manifest", exc)
+
+    def reclaim(self) -> Generator[Event, Any, None]:
+        """Run deferred cleanup now and re-evaluate ENOSPC degradation.
+
+        The manual escape hatch for read-only mode: freeing space (here,
+        or externally via :meth:`SimFS.set_capacity`) followed by a call
+        to ``health.poke()`` lets the store exit disk-full degradation.
+        """
+        batch, self._deferred_cleanup = self._deferred_cleanup, []
+        if batch:
+            yield from self._cleanup_tables(batch)
+        self.health.poke()
+
+    # ------------------------------------------------------------------
     # write path
     # ------------------------------------------------------------------
 
@@ -322,20 +424,41 @@ class LSMEngine:
         writer mutex, stalling per the §2.3 governors when needed."""
         if not len(batch):
             return
+        if self.health.read_only:
+            raise ReadOnlyError(
+                f"{self.dbname} is read-only: {self.health.reason}")
         meter = self._meter()
         meter.charge(meter.model.write_mutex_overhead)
         yield self._mutex.acquire()
         try:
             yield from self._make_room(meter)
-            first_seq = self.versions.last_sequence + 1
+            prev_seq = self.versions.last_sequence
+            first_seq = prev_seq + 1
             self.versions.last_sequence += len(batch)
-            self._wal_writer.append(batch.encode(first_seq), meter)
+            try:
+                self._wal_writer.append(batch.encode(first_seq), meter)
+            except DiskFullError as exc:
+                # All-or-nothing: the WAL frame was never buffered, so
+                # nothing of this batch exists anywhere.  Un-claim the
+                # sequence numbers and degrade to read-only.
+                self.versions.last_sequence = prev_seq
+                self.health.report("wal", exc)
+                raise ReadOnlyError(
+                    f"{self.dbname}: WAL append hit disk full") from exc
             # Crash site: the record is in the page cache but (if
             # wal_sync) not yet acknowledged-durable.
             self.fs.fault_site("wal.append",
                                wal=self._wal_name(self._wal_number))
             if self.options.wal_sync:
-                yield from self._wal_handle.fdatasync()
+                try:
+                    yield from self._wal_handle.fdatasync()
+                except DeviceError as exc:
+                    # The write is rejected (caller sees the error) and
+                    # the record's durability is indeterminate — exactly
+                    # a crash-window write, which the recovery contract
+                    # already permits either way.
+                    self.health.report("wal", exc)
+                    raise
             seq = first_seq
             for value_type, key, value in batch.ops:
                 self._memtable.add(seq, value_type, key, value)
@@ -353,6 +476,12 @@ class LSMEngine:
         opts = self.options
         allow_delay = opts.enable_l0_slowdown
         while True:
+            if self.health.read_only:
+                # Degraded while stalled: bail out instead of waiting on
+                # background progress that cannot come.  write()'s
+                # finally releases the mutex.
+                raise ReadOnlyError(
+                    f"{self.dbname} is read-only: {self.health.reason}")
             l0_files = self.versions.l0_unit_count()
             if allow_delay and l0_files >= opts.l0_slowdown_trigger:
                 # L0SlowDown: sleep 1 ms once, ceding the mutex (§2.3).
@@ -479,13 +608,22 @@ class LSMEngine:
                 for meta in self._tables_for_key(version, level, key):
                     probes += 1
                     self.stats.tables_probed += 1
+                    if meta.number in self._quarantined:
+                        raise CorruptionError(
+                            f"table {meta.number:06d} ({meta.container}) "
+                            f"is quarantined")
                     if first_probed is None:
                         first_probed = (level, meta)
-                    reader = yield from self.table_cache.find_table(
-                        meta.number, meta.container, meta.offset, meta.length,
-                        meter)
-                    state, value = yield from reader.get(
-                        key, snapshot, meter, self.block_cache)
+                    try:
+                        reader = yield from self.table_cache.find_table(
+                            meta.number, meta.container, meta.offset,
+                            meta.length, meter)
+                        state, value = yield from reader.get(
+                            key, snapshot, meter, self.block_cache)
+                    except CorruptionError as exc:
+                        self._quarantine(meta, f"read: {exc}")
+                        self.health.report("read", exc)
+                        raise
                     if state != NOT_FOUND:
                         self._maybe_seek_compact(first_probed, probes,
                                                  (level, meta))
@@ -555,11 +693,20 @@ class LSMEngine:
                 for file_set in self._scan_level_sets(version, level, start_key):
                     collected: List[Entry] = []
                     for meta in file_set:
-                        reader = yield from self.table_cache.find_table(
-                            meta.number, meta.container, meta.offset,
-                            meta.length, meter)
-                        part = yield from reader.iter_entries_from(
-                            start_key, meter, max_entries=count)
+                        if meta.number in self._quarantined:
+                            raise CorruptionError(
+                                f"table {meta.number:06d} ({meta.container}) "
+                                f"is quarantined")
+                        try:
+                            reader = yield from self.table_cache.find_table(
+                                meta.number, meta.container, meta.offset,
+                                meta.length, meter)
+                            part = yield from reader.iter_entries_from(
+                                start_key, meter, max_entries=count)
+                        except CorruptionError as exc:
+                            self._quarantine(meta, f"scan: {exc}")
+                            self.health.report("read", exc)
+                            raise
                         collected.extend(part)
                         if len(collected) >= count:
                             break
@@ -586,17 +733,30 @@ class LSMEngine:
                     continue
                 kind, payload = job
                 try:
-                    if kind == "flush":
-                        yield from self._flush_memtable()
-                    else:
-                        yield from self._run_compaction(payload)
+                    try:
+                        if kind == "flush":
+                            yield from self._flush_memtable()
+                        else:
+                            yield from self._run_compaction(payload)
+                        self.health.record_success()
+                    except Interrupt:
+                        raise
+                    except (DeviceError, DiskFullError,
+                            CorruptionError) as exc:
+                        # Known fault classes degrade the store instead
+                        # of killing the worker; anything else is a bug
+                        # and still propagates to _on_worker_exit.
+                        self._on_background_error(
+                            "flush" if kind == "flush" else "compaction",
+                            exc)
                 finally:
                     if kind == "flush":
                         self._flush_in_progress = False
                     else:
                         self._compactions_in_progress -= 1
                         for meta in payload.inputs:
-                            self._busy_tables.discard(meta.number)
+                            if meta.number not in self._quarantined:
+                                self._busy_tables.discard(meta.number)
                     self._bg_done.notify_all()
                     self._bg_work.notify_all()
         except Interrupt:
@@ -604,6 +764,8 @@ class LSMEngine:
 
     def _pick_job(self) -> Optional[Tuple[str, Any]]:
         """Atomically claim the next unit of background work."""
+        if self.health.paused:
+            return None  # degraded: shed background work until resume
         if self._imm is not None and not self._flush_in_progress:
             self._flush_in_progress = True
             return ("flush", None)
@@ -627,17 +789,31 @@ class LSMEngine:
         return score >= 1.0
 
     def wait_idle(self) -> Generator[Event, Any, None]:
-        """Block until no flush/compaction work remains (test helper)."""
+        """Block until no flush/compaction work remains (test helper).
+
+        Returns early while degraded and no worker is mid-job: paused
+        background work cannot progress until resume, and waiting for it
+        would deadlock ``close()``.
+        """
         while self.has_pending_work():
+            if (self.health.paused and not self._flush_in_progress
+                    and not self._compactions_in_progress):
+                return
             self._bg_work.notify_all()
             waiter = self._bg_done.wait()
             yield waiter
 
     def flush_all(self) -> Generator[Event, Any, None]:
         """Force the active MemTable to disk and quiesce (bench helper)."""
+        if self.health.read_only:
+            raise ReadOnlyError(
+                f"{self.dbname} is read-only: {self.health.reason}")
         yield self._mutex.acquire()
         try:
             while self._imm is not None:
+                if self.health.read_only:
+                    raise ReadOnlyError(
+                        f"{self.dbname} is read-only: {self.health.reason}")
                 yield from self._stall("flush-all")
             if len(self._memtable):
                 self._imm = self._memtable
@@ -796,9 +972,16 @@ class LSMEngine:
             inputs = merge_victims + merge_overlaps
             streams: List[List[Entry]] = []
             for meta in inputs:
-                reader = yield from self.table_cache.find_table(
-                    meta.number, meta.container, meta.offset, meta.length, meter)
-                entries = yield from reader.iter_entries(meter)
+                try:
+                    reader = yield from self.table_cache.find_table(
+                        meta.number, meta.container, meta.offset, meta.length,
+                        meter)
+                    entries = yield from reader.iter_entries(meter)
+                except CorruptionError as exc:
+                    # Quarantine and abort the job; the table stays busy
+                    # forever so the picker routes around it.
+                    self._quarantine(meta, f"compaction input: {exc}")
+                    raise
                 streams.append(entries)
                 self.stats.compaction_bytes_read += meta.length
                 meter.charge(meter.model.merge_per_record * len(entries))
@@ -949,8 +1132,19 @@ class LSMEngine:
         if self._inflight_reads or not self._deferred_cleanup:
             return
         batch, self._deferred_cleanup = self._deferred_cleanup, []
-        self.env.process(self._cleanup_tables(batch),
-                         name=f"{self.dbname}-cleanup")
+        proc = self.env.process(self._cleanup_and_poke(batch),
+                                name=f"{self.dbname}-cleanup")
+        proc.add_callback(self._on_worker_exit)
+
+    def _cleanup_and_poke(self, metas: List[FileMetaData]
+                          ) -> Generator[Event, Any, None]:
+        """Run cleanup, downgrading its faults to soft, then re-check
+        ENOSPC degradation: reclaimed space may end read-only mode."""
+        try:
+            yield from self._cleanup_tables(metas)
+        except (DeviceError, DiskFullError) as exc:
+            self._on_background_error("cleanup", exc)
+        self.health.poke()
 
     def _cleanup_tables(self, metas: List[FileMetaData]
                         ) -> Generator[Event, Any, None]:
@@ -969,6 +1163,10 @@ class LSMEngine:
 
     def _recover(self) -> Generator[Event, Any, None]:
         yield from self.versions.recover()
+        # Quarantine marks survive restarts via the MANIFEST; keep the
+        # pickers clear of the poisoned tables from the first moment.
+        self._quarantined = set(self.versions.current.quarantined)
+        self._busy_tables.update(self._quarantined)
         # Replay WALs at/after the recorded log number, oldest first.
         logs: List[Tuple[int, str]] = []
         for name in self.fs.listdir(f"{self.dbname}/"):
@@ -1050,4 +1248,6 @@ class LSMEngine:
             "memtable_bytes": self._memtable.approximate_memory_usage,
             "last_sequence": self.versions.last_sequence,
             "stats": vars(self.stats.snapshot()),
+            "health": self.health.snapshot(),
+            "quarantined_tables": sorted(self._quarantined),
         }

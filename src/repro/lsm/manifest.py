@@ -38,6 +38,7 @@ _TAG_COMPACT_POINTER = 4
 _TAG_DELETED_FILE = 5
 _TAG_NEW_FILE = 6
 _TAG_GUARD = 7  # used by the PebblesDB engine
+_TAG_QUARANTINE = 8  # corruption quarantine (repro.health scrubber)
 
 
 class VersionEdit:
@@ -51,6 +52,7 @@ class VersionEdit:
         self.deleted_files: List[Tuple[int, int]] = []
         self.new_files: List[Tuple[int, FileMetaData]] = []
         self.new_guards: List[Tuple[int, bytes]] = []
+        self.quarantined_files: List[int] = []
 
     def delete_file(self, level: int, number: int) -> None:
         """Record the removal of table ``number`` from ``level``."""
@@ -67,6 +69,10 @@ class VersionEdit:
     def set_compact_pointer(self, level: int, key: bytes) -> None:
         """Record where the next compaction of ``level`` should start."""
         self.compact_pointers.append((level, key))
+
+    def quarantine_file(self, number: int) -> None:
+        """Record that table ``number`` failed checksum verification."""
+        self.quarantined_files.append(number)
 
     # -- codec ---------------------------------------------------------------
 
@@ -104,6 +110,9 @@ class VersionEdit:
             out.extend(encode_varint(_TAG_GUARD))
             out.extend(encode_varint(level))
             out.extend(encode_length_prefixed(key))
+        for number in self.quarantined_files:
+            out.extend(encode_varint(_TAG_QUARANTINE))
+            out.extend(encode_varint(number))
         return bytes(out)
 
     @classmethod
@@ -145,6 +154,9 @@ class VersionEdit:
                 level, pos = decode_varint(data, pos)
                 key, pos = decode_length_prefixed(data, pos)
                 edit.new_guards.append((level, key))
+            elif tag == _TAG_QUARANTINE:
+                number, pos = decode_varint(data, pos)
+                edit.quarantined_files.append(number)
             else:
                 raise CorruptionError(f"unknown VersionEdit tag {tag}")
         return edit
@@ -169,6 +181,12 @@ class VersionSet:
         self._manifest_handle: Optional[FileHandle] = None
         self._manifest_writer: Optional[LogWriter] = None
         self.manifest_writes = 0
+        #: True while a MANIFEST record is appended but not yet applied.
+        #: An error escaping this window means the on-disk log and the
+        #: in-memory state may disagree — the engine escalates it to a
+        #: fatal background error (RocksDB's rule: a failed MANIFEST
+        #: write requires a reopen).
+        self.manifest_in_doubt = False
 
     # -- names ------------------------------------------------------------
 
@@ -230,17 +248,29 @@ class VersionSet:
         version = self.current.clone()
         for level, number in edit.deleted_files:
             version.remove_file(level, number)
+            version.quarantined.discard(number)  # gone = no longer suspect
         for level, meta in edit.new_files:
             version.add_file(level, meta)
             # Never reissue a number observed in the log (recovery path).
             if meta.number >= self.next_file_number:
                 self.next_file_number = meta.number + 1
+        for number in edit.quarantined_files:
+            version.quarantined.add(number)
         for level, key in edit.new_guards:
             keys = self.guards.setdefault(level, [])
             if key not in keys:
                 keys.append(key)
                 keys.sort()
         self.current = version
+
+    def quarantine_now(self, number: int) -> None:
+        """Mark table ``number`` quarantined in the live version at once.
+
+        The in-memory mark takes effect immediately (reads fail fast
+        from the next probe on); the durable MANIFEST record follows via
+        a normal :meth:`log_and_apply` with ``quarantine_file`` set.
+        """
+        self.current.quarantined.add(number)
 
     def log_and_apply(self, edit: VersionEdit,
                       meter: Optional[CpuMeter] = None
@@ -256,7 +286,11 @@ class VersionSet:
         with self.env.tracer.span("manifest.commit", cat="engine",
                                   new_files=len(edit.new_files),
                                   deleted=len(edit.deleted_files)):
+            # SimFS appends are all-or-nothing (a DiskFullError leaves
+            # the file untouched), so the record is either fully in the
+            # log or absent — in-doubt starts only once it is appended.
             self._manifest_writer.append(edit.encode(), meter)
+            self.manifest_in_doubt = True
             # Crash site: the edit is appended but not yet committed.
             self.fs.fault_site("manifest.append",
                                manifest=self._manifest_handle.name)
@@ -267,6 +301,7 @@ class VersionSet:
                                manifest=self._manifest_handle.name)
         self.manifest_writes += 1
         self._apply(edit)
+        self.manifest_in_doubt = False
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -316,6 +351,8 @@ class VersionSet:
             for level, keys in self.guards.items():
                 for key in keys:
                     snapshot.add_guard(level, key)
+            for number in sorted(self.current.quarantined):
+                snapshot.quarantine_file(number)
             self._manifest_writer.append(snapshot.encode())
         yield from self._manifest_handle.fsync()
 

@@ -113,6 +113,31 @@ class Options:
     enable_fd_cache: bool = False
     fd_cache_size: int = 1000
 
+    # -- runtime error handling (repro.health) -------------------------------
+    #: Auto-resume background work after a hard error (exponential
+    #: backoff with jitter on the virtual clock).  Off = stay degraded
+    #: until :meth:`repro.health.ErrorManager.poke` (manual resume).
+    enable_auto_resume: bool = True
+    #: Initial resume backoff, virtual seconds (doubles per failure).
+    bg_error_backoff: float = 2.0e-3
+    #: Backoff ceiling, virtual seconds.
+    bg_error_backoff_max: float = 0.5
+    #: Proportional jitter added to each backoff (0.25 = up to +25 %).
+    bg_error_jitter: float = 0.25
+    #: Consecutive hard failures tolerated before escalating to fatal
+    #: (read-only until manual intervention).  A success resets the count.
+    bg_error_max_retries: int = 12
+    #: Free space required before leaving ENOSPC read-only mode.
+    #: ``None`` means one MemTable's worth (enough to flush and rotate).
+    enospc_resume_headroom: Optional[int] = None
+    #: Run the background corruption scrubber (walks live tables on an
+    #: idle-time budget, quarantining any that fail deep CRC checks).
+    enable_scrubber: bool = False
+    #: Virtual seconds between scrub rounds.
+    scrub_interval: float = 0.25
+    #: Tables deep-verified per scrub round (the idle-time budget).
+    scrub_tables_per_round: int = 2
+
     # -- observability ------------------------------------------------------
     #: A :class:`repro.obs.Tracer` to install on the engine's simulation
     #: environment at construction time.  ``None`` (the default) leaves
@@ -139,6 +164,12 @@ class Options:
             raise ValueError("need at least two levels")
         if self.level_size_multiplier < 2:
             raise ValueError("level_size_multiplier must be >= 2")
+        if self.bg_error_backoff <= 0 or self.bg_error_backoff_max <= 0:
+            raise ValueError("bg_error backoffs must be positive")
+        if self.bg_error_max_retries < 1:
+            raise ValueError("bg_error_max_retries must be >= 1")
+        if self.scrub_interval <= 0 or self.scrub_tables_per_round < 1:
+            raise ValueError("scrubber interval/budget must be positive")
 
     def max_bytes_for_level(self, level: int) -> float:
         """Size limit of ``level`` (level 0 is governed by file count)."""
@@ -163,6 +194,14 @@ class Options:
         # The 1 ms L0SlowDown sleep waits for compaction progress, which
         # at 1/factor structure sizes completes factor-times sooner.
         updates["slowdown_sleep"] = self.slowdown_sleep / factor
+        # Resume backoffs and scrub pacing wait for device work, which
+        # also completes factor-times sooner at 1/factor sizes.
+        updates["bg_error_backoff"] = self.bg_error_backoff / factor
+        updates["bg_error_backoff_max"] = self.bg_error_backoff_max / factor
+        updates["scrub_interval"] = self.scrub_interval / factor
+        if self.enospc_resume_headroom:
+            updates["enospc_resume_headroom"] = max(
+                1, self.enospc_resume_headroom // factor)
         return replace(self, **updates)
 
     def copy(self, **updates) -> "Options":

@@ -35,7 +35,8 @@ from .bloom import BloomFilter
 from .memtable import DELETED, FOUND, NOT_FOUND
 from .options import TableFormat
 
-__all__ = ["SSTableBuilder", "SSTableReader", "TableInfo", "DataBlock", "FOOTER_SIZE"]
+__all__ = ["SSTableBuilder", "SSTableReader", "TableInfo", "DataBlock",
+           "FOOTER_SIZE", "verify_table_bytes"]
 
 _MAGIC = 0xB0171E5B0171E5B0 & 0xFFFFFFFFFFFFFFFF
 FOOTER_SIZE = 8 * 6 + 4
@@ -430,3 +431,25 @@ class SSTableReader:
                 if qualifying >= max_entries:
                     break
         return [e for e in entries if e[0] >= user_key]
+
+
+def verify_table_bytes(fs: Any, container: str, offset: int, length: int,
+                       fmt: TableFormat, meter: Optional[CpuMeter] = None
+                       ) -> Generator[Event, Any, int]:
+    """Deep-verify one (logical) table straight from the filesystem.
+
+    Opens a *fresh* reader (footer, index and bloom CRCs) and decodes
+    every data block (per-block CRCs), bypassing the table and block
+    caches so a flipped byte on "disk" cannot hide behind cached
+    decodes.  Raises :class:`~repro.lsm.codec.CorruptionError` on the
+    first bad check; returns the entry count on success.  Shared by the
+    health scrubber and :mod:`repro.tools.repair`.
+    """
+    handle = yield from fs.open(container)
+    reader = yield from SSTableReader.open(0, handle, fmt, offset, length, meter)
+    entries = yield from reader.iter_entries(meter)
+    if reader.num_entries and len(entries) != reader.num_entries:
+        raise CorruptionError(
+            f"{container}@{offset}: decoded {len(entries)} entries, "
+            f"footer says {reader.num_entries}")
+    return len(entries)

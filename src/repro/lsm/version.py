@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 __all__ = ["FileMetaData", "Version"]
 
@@ -56,6 +56,11 @@ class Version:
 
     def __init__(self, num_levels: int):
         self.files: List[List[FileMetaData]] = [[] for _ in range(num_levels)]
+        #: Table numbers quarantined by the corruption path: still
+        #: referenced (so recovery knows the bytes are suspect, not
+        #: merely deleted) but excluded from reads, which fail fast with
+        #: ``CorruptionError`` instead of decoding bad bytes.
+        self.quarantined: Set[int] = set()
 
     @property
     def num_levels(self) -> int:
@@ -66,7 +71,12 @@ class Version:
         """An independent copy of this version's per-level file lists."""
         version = Version(self.num_levels)
         version.files = [list(level) for level in self.files]
+        version.quarantined = set(self.quarantined)
         return version
+
+    def is_quarantined(self, number: int) -> bool:
+        """True if table ``number`` is quarantined in this version."""
+        return number in self.quarantined
 
     def num_files(self, level: int) -> int:
         """Number of tables at ``level``."""

@@ -9,8 +9,8 @@ rationale.
 
 from .device import (BlockDevice, DeviceError, DeviceProfile, DeviceStats,
                      HARD_DISK, NVME_SSD, SATA_SSD)
-from .filesystem import (FSStats, FileHandle, FileSystemError, SECTOR_SIZE,
-                         SimFS)
+from .filesystem import (DiskFullError, FSStats, FileHandle, FileSystemError,
+                         SECTOR_SIZE, SimFS)
 from .page_cache import PAGE_SIZE, PageCache
 
 __all__ = [
@@ -24,6 +24,7 @@ __all__ = [
     "SimFS",
     "FileHandle",
     "FileSystemError",
+    "DiskFullError",
     "FSStats",
     "PageCache",
     "PAGE_SIZE",

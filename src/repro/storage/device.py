@@ -22,7 +22,7 @@ be driven with ``yield from``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Generator
+from typing import Any, Generator, Optional
 
 from ..sim import Environment, Event, Resource
 
@@ -64,6 +64,11 @@ class DeviceProfile:
     write_ramp_bytes: int = 4 << 20
     #: Number of requests the device can service concurrently.
     parallelism: int = 1
+    #: Usable capacity in bytes; ``None`` means unbounded.  Enforced by
+    #: :class:`~repro.storage.filesystem.SimFS`, which raises
+    #: ``DiskFullError`` once allocation would exceed it (the runtime
+    #: ENOSPC fault the health subsystem degrades on).
+    capacity_bytes: Optional[int] = None
 
     def scaled(self, factor: int) -> "DeviceProfile":
         """A profile for running byte-scaled experiments.
@@ -88,6 +93,8 @@ class DeviceProfile:
             barrier_latency=self.barrier_latency / factor,
             metadata_op_latency=self.metadata_op_latency / factor,
             write_ramp_bytes=max(1, self.write_ramp_bytes // factor),
+            capacity_bytes=(None if self.capacity_bytes is None
+                            else max(1, self.capacity_bytes // factor)),
         )
 
 
@@ -184,32 +191,32 @@ class BlockDevice:
         self.stats.busy_time += duration
         yield self.env.timeout(duration)
 
-    def _exclusive(self, duration: float) -> Generator[Event, Any, None]:
-        """Occupy one channel slot for ``duration`` virtual seconds."""
-        yield self._channel.acquire()
-        try:
-            yield from self._busy(duration)
-        finally:
-            self._channel.release()
-
     def _service(self, op: str, duration: float) -> Generator[Event, Any, None]:
-        """Occupy a channel slot, retrying transient EIO faults.
+        """Occupy a channel slot, retrying transient EIO faults in place.
 
-        Each attempt pays the full device time; a fault injected by
-        :attr:`fault_hook` costs one retry.  After ``max_eio_retries``
-        failed attempts the error is treated as persistent.
+        The slot is held across retries: the controller re-drives a
+        faulted request without requeueing it behind later arrivals, so
+        each attempt pays the full device time but the FIFO queue wait
+        is paid exactly once.  A fault injected by :attr:`fault_hook`
+        costs one retry; after ``max_eio_retries`` failed attempts the
+        error is treated as persistent and :class:`DeviceError` raised.
         """
         attempts = 0
-        while True:
-            yield from self._exclusive(duration)
-            hook = self.fault_hook
-            if hook is None or not hook(op):
-                return
-            attempts += 1
-            self.stats.num_eio_retries += 1
-            if attempts > self.max_eio_retries:
-                raise DeviceError(
-                    f"{op}: transient EIO persisted through {attempts} attempts")
+        yield self._channel.acquire()
+        try:
+            while True:
+                yield from self._busy(duration)
+                hook = self.fault_hook
+                if hook is None or not hook(op):
+                    return
+                attempts += 1
+                self.stats.num_eio_retries += 1
+                if attempts > self.max_eio_retries:
+                    raise DeviceError(
+                        f"{op}: transient EIO persisted through "
+                        f"{attempts} attempts")
+        finally:
+            self._channel.release()
 
     def _drain_all(self) -> Generator[Event, Any, list]:
         """Acquire every channel slot (queue depth reaches zero)."""

@@ -30,7 +30,8 @@ from ..sim import CpuMeter, Environment, Event
 from .device import BlockDevice
 from .page_cache import PAGE_SIZE, PageCache
 
-__all__ = ["SimFS", "FileHandle", "FSStats", "FileSystemError", "SECTOR_SIZE"]
+__all__ = ["SimFS", "FileHandle", "FSStats", "FileSystemError",
+           "DiskFullError", "SECTOR_SIZE"]
 
 #: Torn-write granularity: a power loss may persist any sector-aligned
 #: prefix of the page the device was transferring (see SimFS.crash).
@@ -39,6 +40,17 @@ SECTOR_SIZE = 512
 
 class FileSystemError(OSError):
     """Raised for invalid filesystem operations (missing file, etc.)."""
+
+
+class DiskFullError(OSError):
+    """A write could not be allocated: the filesystem is out of space.
+
+    Raised *before* any byte is buffered, so a failed append/write is
+    all-or-nothing — the file is untouched and the operation can be
+    retried after space is reclaimed (hole punch, unlink, or a raised
+    capacity).  This is the runtime ENOSPC fault :mod:`repro.health`
+    degrades on.
+    """
 
 
 @dataclass
@@ -193,11 +205,17 @@ class SimFS:
     """A flat-namespace simulated filesystem over a :class:`BlockDevice`."""
 
     def __init__(self, env: Environment, device: BlockDevice,
-                 page_cache: Optional[PageCache] = None):
+                 page_cache: Optional[PageCache] = None,
+                 capacity_bytes: Optional[int] = None):
         self.env = env
         self.device = device
         #: ``None`` means an unbounded page cache (everything resident).
         self.page_cache = page_cache
+        #: Usable space in bytes (``None`` = unbounded).  Defaults to the
+        #: device profile's ``capacity_bytes``; adjustable at runtime via
+        #: :meth:`set_capacity` to stage disk-full episodes.
+        self.capacity_bytes = (capacity_bytes if capacity_bytes is not None
+                               else device.profile.capacity_bytes)
         self.stats = FSStats()
         self._files: Dict[str, _SimFile] = {}
         self._next_id = 1
@@ -284,6 +302,40 @@ class SimFS:
         """Sum of every file's logical size."""
         return sum(f.size for f in self._files.values())
 
+    # -- capacity (ENOSPC model) -------------------------------------------
+
+    def set_capacity(self, capacity_bytes: Optional[int]) -> None:
+        """Set usable space (``None`` = unbounded).
+
+        Shrinking below the current allocation does not destroy data —
+        existing bytes stay readable — but any further allocation raises
+        :class:`DiskFullError` until space is freed.
+        """
+        self.capacity_bytes = capacity_bytes
+
+    def free_bytes(self) -> Optional[int]:
+        """Unallocated space remaining, or ``None`` when unbounded."""
+        if self.capacity_bytes is None:
+            return None
+        return max(0, self.capacity_bytes - self.total_allocated_bytes())
+
+    def _charge_capacity(self, file: _SimFile, offset: int, length: int) -> None:
+        """Raise :class:`DiskFullError` if writing ``[offset, offset+length)``
+        would allocate beyond capacity.  Called before any mutation."""
+        if self.capacity_bytes is None or length <= 0:
+            return
+        growth = max(0, offset + length - file.size)
+        if file.punched:
+            first = offset // PAGE_SIZE
+            last = (offset + length - 1) // PAGE_SIZE
+            refilled = sum(1 for page in range(first, last + 1)
+                           if page in file.punched)
+            growth += refilled * PAGE_SIZE
+        if growth and self.total_allocated_bytes() + growth > self.capacity_bytes:
+            raise DiskFullError(
+                f"disk full writing {length} bytes to {file.name!r}: "
+                f"{growth} new bytes > {self.free_bytes()} free")
+
     # -- data operations -----------------------------------------------------
 
     def append(self, handle: FileHandle, data: bytes,
@@ -292,9 +344,12 @@ class SimFS:
 
         Costs only a memory copy (charged to ``meter`` if given).
         Durability requires a subsequent :meth:`fsync`/:meth:`fdatasync`.
+        Raises :class:`DiskFullError` (leaving the file untouched) when
+        the allocation would exceed :attr:`capacity_bytes`.
         """
         file = handle._file
         offset = file.size
+        self._charge_capacity(file, offset, len(data))
         file.mark_dirty_range(offset, len(data), self.epoch)  # pre-images first
         file.data.extend(data)
         self._make_resident(file, offset, len(data))
@@ -305,9 +360,14 @@ class SimFS:
 
     def write_at(self, handle: FileHandle, offset: int, data: bytes,
                  meter: Optional[CpuMeter] = None) -> None:
-        """Buffered positional write (extends the file if needed)."""
+        """Buffered positional write (extends the file if needed).
+
+        Raises :class:`DiskFullError` before mutating anything when the
+        allocation would exceed :attr:`capacity_bytes`.
+        """
         file = handle._file
         end = offset + len(data)
+        self._charge_capacity(file, offset, len(data))
         file.mark_dirty_range(offset, len(data), self.epoch)  # pre-images first
         if end > file.size:
             file.data.extend(b"\x00" * (end - file.size))

@@ -31,7 +31,7 @@ from ..bench.metrics import LatencyRecorder
 from ..obs import Tracer, phase_summary, write_chrome_trace
 from ..sim import Event
 
-__all__ = ["main", "run_benchmarks", "run_crash_sweep"]
+__all__ = ["main", "run_benchmarks", "run_crash_sweep", "run_chaos"]
 
 BENCHMARKS = ("fillseq", "fillrandom", "overwrite", "readrandom",
               "readmissing", "readseq", "deleterandom", "compact", "stats")
@@ -61,7 +61,41 @@ def _parser() -> argparse.ArgumentParser:
                         help="instead of benchmarking, run the repro.faults "
                              "crash-consistency sweep for --engine and exit "
                              "non-zero on any durability violation")
+    parser.add_argument("--chaos", action="store_true",
+                        help="instead of benchmarking, run the transient-"
+                             "fault chaos schedule (EIO at --fault-rate plus "
+                             "one disk-full episode) for every engine family "
+                             "and exit non-zero if any store drops a read, "
+                             "loses an acked write, or fails to re-enter the "
+                             "healthy state")
+    parser.add_argument("--fault-rate", type=float, default=0.05,
+                        help="per-request transient-EIO probability for "
+                             "--chaos (default 0.05)")
+    parser.add_argument("--disk-full-at", type=float, default=0.5,
+                        help="fraction of the --chaos run at which the disk "
+                             "fills (0 disables the episode; default 0.5)")
     return parser
+
+
+def run_chaos(args: argparse.Namespace, out=print) -> List[dict]:
+    """Handle ``--chaos``: transient-fault runs across all engines."""
+    from ..faults import ChaosConfig, chaos_sweep
+    config = ChaosConfig(num_ops=min(args.num, 600), seed=args.seed,
+                         fault_rate=args.fault_rate,
+                         disk_full_at=args.disk_full_at)
+    out(f"chaos: engines {', '.join(config.engines)}, {config.num_ops} ops, "
+        f"EIO rate {config.fault_rate}, disk full at "
+        f"{config.disk_full_at:.0%} of the run")
+    report = chaos_sweep(config)
+    for line in report.summary_lines():
+        out(line)
+    rows = [{"benchmark": "chaos", "engine": r.engine, "ops": r.ops,
+             "rejected": r.writes_rejected, "eio_retries": r.eio_retries,
+             "resumes": r.resume_attempts,
+             "violations": len(r.violations)} for r in report.results]
+    if not report.ok:
+        raise SystemExit(1)
+    return rows
 
 
 def run_crash_sweep(args: argparse.Namespace, out=print) -> List[dict]:
@@ -87,6 +121,8 @@ def run_benchmarks(args: argparse.Namespace,
     """Run the requested benchmark list; returns one row per benchmark."""
     if getattr(args, "crash_sweep", False):
         return run_crash_sweep(args, out)
+    if getattr(args, "chaos", False):
+        return run_chaos(args, out)
     config = BenchConfig(scale=args.scale, record_count=args.num,
                          value_size=args.value_size, seed=args.seed)
     trace_path = getattr(args, "trace", None)

@@ -34,7 +34,8 @@ from ..lsm.codec import encode_fixed64
 from ..sim import Environment, Event
 from ..storage import SimFS
 
-__all__ = ["repair_database", "scan_container_for_tables", "RepairReport"]
+__all__ = ["repair_database", "scan_container_for_tables",
+           "read_quarantine_intent", "RepairReport"]
 
 _MAGIC_BYTES = encode_fixed64(_MAGIC)
 
@@ -45,6 +46,7 @@ class RepairReport:
     def __init__(self) -> None:
         self.tables_recovered = 0
         self.tables_corrupt = 0
+        self.tables_quarantined = 0
         self.wal_records_salvaged = 0
         self.files_scanned = 0
         self.max_sequence = 0
@@ -52,7 +54,42 @@ class RepairReport:
     def __repr__(self) -> str:
         return (f"RepairReport(tables={self.tables_recovered}, "
                 f"corrupt={self.tables_corrupt}, "
+                f"quarantined={self.tables_quarantined}, "
                 f"wal_records={self.wal_records_salvaged})")
+
+
+def read_quarantine_intent(fs: SimFS, dbname: str
+                           ) -> Generator[Event, Any, List[Tuple[str, int]]]:
+    """Best-effort scan of the old MANIFEST chain for quarantine marks.
+
+    The scrubber records corrupt tables in the MANIFEST (tag 8) so reads
+    fail fast instead of returning garbage.  Repair honours that intent:
+    a quarantined table must not be resurrected even when its bytes
+    happen to verify during the scavenge (intermittent media faults).
+    Returns the ``(container, base_offset)`` pairs to exclude; decode
+    stops silently at the first corrupt manifest record, because repair
+    runs precisely when the MANIFEST is suspect.
+    """
+    bases: List[Tuple[str, int]] = []
+    by_number: dict = {}
+    quarantined: set = set()
+    for name in fs.listdir(f"{dbname}/"):
+        if "MANIFEST" not in name:
+            continue
+        handle = yield from fs.open(name)
+        data = yield from handle.read(0, handle.size, sequential=True)
+        for record in read_log_records(data):
+            try:
+                edit = VersionEdit.decode(record)
+            except CorruptionError:
+                break
+            for _level, meta in edit.new_files:
+                by_number[meta.number] = (meta.container, meta.offset)
+            quarantined.update(edit.quarantined_files)
+    for number in sorted(quarantined):
+        if number in by_number:
+            bases.append(by_number[number])
+    return bases
 
 
 def scan_container_for_tables(fs: SimFS, name: str, options: Options
@@ -105,6 +142,15 @@ def repair_database(env: Environment, fs: SimFS, options: Options,
     report = RepairReport()
     options.validate()
 
+    # 0. Read quarantine intent from the old MANIFEST before it is
+    #    deleted: scrubbed-bad tables stay excluded from the rebuild.
+    quarantined_bases = set()
+    try:
+        quarantined_bases = set(
+            (yield from read_quarantine_intent(fs, dbname)))
+    except OSError:
+        pass  # manifest unreadable: nothing to honour
+
     # 1. Scavenge tables from every data file.
     recovered: List[Tuple[int, FileMetaData]] = []  # (max_seq, meta)
     for name in fs.listdir(f"{dbname}/"):
@@ -114,6 +160,9 @@ def repair_database(env: Environment, fs: SimFS, options: Options,
         tables = yield from scan_container_for_tables(fs, name, options)
         handle = yield from fs.open(name)
         for base, length, reader in tables:
+            if (name, base) in quarantined_bases:
+                report.tables_quarantined += 1
+                continue
             entries = yield from reader.iter_entries()
             if not entries:
                 report.tables_corrupt += 1

@@ -342,7 +342,8 @@ def test_unified_snapshot_sections():
         db.put_sync(b"k%06d" % i, b"v" * 64)
     stack.env.run_until(stack.env.process(db.flush_all()))
     snap = unified_snapshot(stack, db)
-    assert set(snap) == {"clock", "device", "fs", "engine", "metrics"}
+    assert set(snap) == {"clock", "device", "fs", "engine", "health",
+                         "metrics"}
     assert snap["clock"]["virtual_seconds"] == stack.env.now
     assert snap["fs"]["num_barrier_calls"] == stack.fs.stats.num_barrier_calls
     assert snap["engine"]["compactions"] == db.stats.compactions

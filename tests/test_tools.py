@@ -204,6 +204,29 @@ class TestRepair:
         db2 = LevelDBEngine.open_sync(env, fs, leveldb_options(SCALE), "db")
         assert db2.get_sync(b"wal-only-key") == b"wal-only-value"
 
+    def test_repair_honours_quarantine_intent(self):
+        """A table the scrubber quarantined must stay out of the rebuilt
+        tree even when its bytes verify during the scavenge (the mark
+        models intermittent media faults the CRC pass cannot see)."""
+        env, fs, db, _model = load_db(LevelDBEngine, leveldb_options(SCALE))
+        live = list(db.versions.current.live_numbers().values())
+        victim = live[0]
+        db._quarantine(victim, "operator: intermittent read failures")
+
+        def settle():
+            yield env.timeout(0.05)  # let the quarantine record commit
+
+        env.run_until(env.process(settle()))
+        db.close_sync()
+        report = env.run_until(env.process(
+            repair_database(env, fs, leveldb_options(SCALE), "db")))
+        assert report.tables_quarantined == 1
+        db2 = LevelDBEngine.open_sync(env, fs, leveldb_options(SCALE), "db")
+        rebuilt = db2.versions.current.live_numbers().values()
+        assert all((m.container, m.offset)
+                   != (victim.container, victim.offset) for m in rebuilt)
+        db2.close_sync()
+
     def test_repair_preserves_version_order(self):
         """Overwrites across many tables: repair's recency renumbering
         must keep the newest value on top."""
