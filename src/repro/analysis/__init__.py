@@ -1,0 +1,54 @@
+"""Static and dynamic determinism/concurrency analysis for the simulator.
+
+Every performance claim in this repository rests on the discrete-event
+simulation being **bit-reproducible** (same seed, same trace, same
+numbers) and **race-free** (cooperative threads never observe torn
+shared state).  This package makes both properties checked invariants
+instead of hopes:
+
+* :mod:`repro.analysis.simcheck` — an AST-based static linter with a
+  rule catalog specific to this codebase (no wall-clock reads, no
+  unseeded RNG, no ordering decisions fed from unordered sets, no float
+  equality against the virtual clock, barrier-dominated MANIFEST
+  commits).  Run it with ``python -m repro.tools.simcheck src/repro``.
+* :mod:`repro.analysis.sanitizer` — an opt-in runtime sanitizer for the
+  sim kernel (``Environment(sanitize=True)``, alias ``Kernel``): a
+  lockdep-style lock-order-graph cycle detector over
+  :class:`repro.sim.Resource` acquires plus a yield-point write-set
+  tracker that flags two simulated threads mutating the same registered
+  engine object between barriers without a common lock held — TSAN for
+  virtual threads.
+
+Both passes depend only on the standard library, so every layer of the
+stack (including :mod:`repro.sim` itself) may import them without
+creating cycles; see docs/ANALYSIS.md for the rule catalog and report
+formats.
+"""
+
+from .sanitizer import (
+    NULL_SANITIZER,
+    NullSanitizer,
+    Sanitizer,
+    SanitizerError,
+    SanitizerReport,
+)
+from .simcheck import (
+    Finding,
+    RULES,
+    check_paths,
+    check_source,
+    main as simcheck_main,
+)
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "check_paths",
+    "check_source",
+    "simcheck_main",
+    "Sanitizer",
+    "NullSanitizer",
+    "NULL_SANITIZER",
+    "SanitizerError",
+    "SanitizerReport",
+]

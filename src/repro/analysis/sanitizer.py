@@ -1,0 +1,270 @@
+"""Runtime sanitizer for the simulation kernel: lockdep + race detector.
+
+Enabled with ``Environment(sanitize=True)`` (alias ``Kernel``), this
+module watches two invariants while a simulation runs:
+
+* **Lock ordering** (lockdep): every :class:`repro.sim.Resource` mutex
+  acquire while other mutexes are held adds an edge to a global
+  lock-order graph.  A cycle in that graph means two processes can
+  acquire the same locks in opposite orders — a potential deadlock even
+  if this particular run got lucky.
+* **Yield-point write sets** (TSAN for virtual threads): engines
+  register their shared objects (version set, memtable switch state,
+  fd-cache) and note every mutation.  Two distinct sim-processes
+  mutating the same ``(object, field)`` between barriers without at
+  least one common mutex held is reported as a data race.  Cooperative
+  scheduling makes such code *accidentally* atomic between yields; the
+  sanitizer holds it to the stricter preemptive-model standard so the
+  locking discipline survives refactors that add yield points.
+
+Reports accumulate on :attr:`Sanitizer.reports`, are mirrored as trace
+instants (category ``sanitizer``) when a tracer is attached, and
+:meth:`Sanitizer.check` raises :class:`SanitizerError` if any exist.
+
+This module depends only on the standard library and duck-types the
+kernel objects it observes, so :mod:`repro.sim` can import it without a
+layering cycle (the same pattern as :mod:`repro.obs.tracer`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+__all__ = [
+    "Sanitizer",
+    "NullSanitizer",
+    "NULL_SANITIZER",
+    "SanitizerError",
+    "SanitizerReport",
+]
+
+
+class SanitizerError(RuntimeError):
+    """Raised by :meth:`Sanitizer.check` when any report was recorded."""
+
+
+@dataclass(frozen=True)
+class SanitizerReport:
+    """One sanitizer diagnosis.
+
+    ``kind`` is ``"lock-cycle"`` or ``"data-race"``; ``message`` is the
+    human-readable one-liner; ``details`` carries the structured fields
+    (lock names in cycle order, or object/field/process names).
+    """
+
+    kind: str
+    message: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """``kind: message`` for logs and exception text."""
+        return f"{self.kind}: {self.message}"
+
+
+class NullSanitizer:
+    """Do-nothing stand-in installed when sanitize mode is off.
+
+    ``enabled`` is a class attribute so hot paths can guard with a plain
+    attribute read (the same zero-overhead trick as ``NULL_TRACER``).
+    """
+
+    enabled = False
+    reports: Tuple[SanitizerReport, ...] = ()
+
+    def note_acquired(self, lock: Any, owner: Any) -> None:
+        """No-op (sanitizer disabled)."""
+
+    def note_released(self, lock: Any, owner: Any) -> None:
+        """No-op (sanitizer disabled)."""
+
+    def register(self, obj: Any, name: str) -> None:
+        """No-op (sanitizer disabled)."""
+
+    def note_write(self, obj: Any, field_name: str) -> None:
+        """No-op (sanitizer disabled)."""
+
+    def barrier(self, label: str = "") -> None:
+        """No-op (sanitizer disabled)."""
+
+    def check(self) -> None:
+        """No-op (sanitizer disabled)."""
+
+
+#: Shared disabled instance (pattern-matches ``NULL_TRACER``).
+NULL_SANITIZER = NullSanitizer()
+
+
+class Sanitizer:
+    """Lock-order-graph and write-set tracker for one environment."""
+
+    enabled = True
+
+    def __init__(self, env: Any = None):
+        self.env = env
+        self.reports: List[SanitizerReport] = []
+        self._seen: Set[Tuple[Any, ...]] = set()
+        # lockdep state: per-owner held-lock stacks plus the global
+        # acquisition-order graph (edges keyed by id(), names pinned).
+        self._held: Dict[Any, List[Any]] = {}
+        self._edges: Dict[int, Set[int]] = {}
+        self._lock_names: Dict[int, str] = {}
+        self._locks: Dict[int, Any] = {}
+        # race-detector state: registered shared objects and the writes
+        # observed since the last barrier.
+        self._objects: Dict[int, Any] = {}
+        self._object_names: Dict[int, str] = {}
+        self._writes: Dict[Tuple[int, str],
+                           List[Tuple[Any, FrozenSet[int]]]] = {}
+        self.epoch = 0
+
+    def attach(self, env: Any) -> "Sanitizer":
+        """Bind to ``env`` (fluent, mirroring ``Tracer.attach``)."""
+        self.env = env
+        return self
+
+    # -- lockdep ----------------------------------------------------------
+
+    def note_acquired(self, lock: Any, owner: Any) -> None:
+        """Record that ``owner`` now holds ``lock`` (mutexes only)."""
+        token = owner if owner is not None else "main"
+        held = self._held.setdefault(token, [])
+        lock_id = id(lock)
+        self._locks[lock_id] = lock
+        self._lock_names[lock_id] = getattr(lock, "name", "") or f"lock@{lock_id:x}"
+        for prior in held:
+            prior_id = id(prior)
+            if prior_id == lock_id:
+                continue  # re-acquiring slots of one semaphore is not an order
+            edges = self._edges.setdefault(prior_id, set())
+            if lock_id not in edges:
+                edges.add(lock_id)
+                self._check_cycle(prior_id, lock_id)
+        held.append(lock)
+
+    def note_released(self, lock: Any, owner: Any) -> None:
+        """Record that ``owner`` released ``lock``."""
+        token = owner if owner is not None else "main"
+        held = self._held.get(token)
+        if held and lock in held:
+            # Remove the most recent acquisition (LIFO, like lockdep).
+            for index in range(len(held) - 1, -1, -1):
+                if held[index] is lock:
+                    del held[index]
+                    return
+        # A slot can transfer between processes (FIFO hand-off on
+        # release) or be released by a different process than acquired
+        # it; fall back to removing it from whoever holds it.
+        for other in sorted(self._held, key=lambda t: str(getattr(t, "name", t))):
+            stack = self._held[other]
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index] is lock:
+                    del stack[index]
+                    return
+
+    def held_by(self, owner: Any) -> List[Any]:
+        """The locks ``owner`` currently holds (acquisition order)."""
+        token = owner if owner is not None else "main"
+        return list(self._held.get(token, ()))
+
+    def _check_cycle(self, source: int, target: int) -> None:
+        """After adding edge source->target, report if target reaches source."""
+        path = self._find_path(target, source)
+        if path is None:
+            return
+        # path runs target..source; prepending source closes the loop:
+        # source -> target -> ... -> source.
+        cycle = [source] + path
+        names = [self._lock_names.get(lock_id, hex(lock_id))
+                 for lock_id in cycle]
+        key = ("lock-cycle", tuple(sorted(set(cycle))))
+        self._report(
+            "lock-cycle",
+            "lock-order cycle (potential deadlock): " + " -> ".join(names),
+            {"locks": names},
+            key)
+
+    def _find_path(self, start: int, goal: int) -> Optional[List[int]]:
+        """DFS over the order graph; the node list from start to goal."""
+        stack: List[Tuple[int, List[int]]] = [(start, [start])]
+        visited: Set[int] = set()
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            if node in visited:
+                continue
+            visited.add(node)
+            for succ in sorted(self._edges.get(node, ())):
+                if succ not in visited:
+                    stack.append((succ, path + [succ]))
+        return None
+
+    # -- write-set race detection -----------------------------------------
+
+    def register(self, obj: Any, name: str) -> None:
+        """Start tracking mutations of ``obj`` under ``name``."""
+        self._objects[id(obj)] = obj  # pin so id() stays unambiguous
+        self._object_names[id(obj)] = name
+
+    def note_write(self, obj: Any, field_name: str) -> None:
+        """Record a mutation of ``obj.field_name`` by the active process.
+
+        A conflict is two *distinct* processes writing the same field in
+        the same barrier epoch with no mutex in common.
+        """
+        obj_id = id(obj)
+        if obj_id not in self._objects:
+            return
+        owner = getattr(self.env, "active_process", None)
+        token = owner if owner is not None else "main"
+        locks = frozenset(id(lock) for lock in self._held.get(token, ()))
+        entries = self._writes.setdefault((obj_id, field_name), [])
+        for other_token, other_locks in entries:
+            if other_token is token:
+                continue
+            if locks & other_locks:
+                continue
+            obj_name = self._object_names[obj_id]
+            writers = sorted(self._token_name(t) for t in (token, other_token))
+            key = ("data-race", obj_name, field_name, tuple(writers))
+            self._report(
+                "data-race",
+                f"unsynchronized writes to {obj_name}.{field_name} by "
+                f"{writers[0]} and {writers[1]} in the same barrier epoch "
+                f"(no common lock held)",
+                {"object": obj_name, "field": field_name,
+                 "writers": writers, "epoch": self.epoch},
+                key)
+        entries.append((token, locks))
+
+    def barrier(self, label: str = "") -> None:
+        """A durability barrier: close the epoch, reset the write sets."""
+        self.epoch += 1
+        self._writes.clear()
+
+    # -- reporting ---------------------------------------------------------
+
+    @staticmethod
+    def _token_name(token: Any) -> str:
+        if token == "main":
+            return "main"
+        return getattr(token, "name", None) or repr(token)
+
+    def _report(self, kind: str, message: str, details: Dict[str, Any],
+                key: Tuple[Any, ...]) -> None:
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        report = SanitizerReport(kind, message, details)
+        self.reports.append(report)
+        tracer = getattr(self.env, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            tracer.instant(f"sanitizer.{kind}", cat="sanitizer", **details)
+
+    def check(self) -> None:
+        """Raise :class:`SanitizerError` if any report was recorded."""
+        if self.reports:
+            raise SanitizerError(
+                f"{len(self.reports)} sanitizer report(s):\n"
+                + "\n".join(r.render() for r in self.reports))

@@ -1,0 +1,485 @@
+"""simcheck: AST-based determinism linter for the simulator codebase.
+
+The discrete-event simulator must be bit-reproducible: the same seed and
+configuration must produce the same event order, the same virtual-time
+numbers, and the same on-"disk" images on every run and every platform.
+This linter enforces the coding rules that property depends on:
+
+========  ==============================================================
+rule id   what it rejects
+========  ==============================================================
+SIM001    wall-clock reads (``time.time``, ``datetime.now``, ...) inside
+          simulator code — all timing must come from ``env.now``
+SIM002    unseeded randomness: ``random.Random()`` with no seed, the
+          module-level ``random.*`` functions, ``os.urandom``
+SIM003    iteration over a ``set``/``frozenset`` feeding an
+          order-sensitive consumer — sort before iterating
+SIM004    float ``==``/``!=`` against the virtual clock (``env.now``)
+SIM005    a MANIFEST commit (``log_and_apply``) that is not dominated by
+          a data barrier (``seal``/``fsync``/``fdatasync``/
+          ``fdatabarrier``) after the last table write on the same
+          durability path (intra-function call-graph walk)
+========  ==============================================================
+
+Findings can be waived per line with ``# simcheck: waive[SIM003]`` (or a
+comma list, or ``waive[*]``); waivers in library code need a
+justification in the surrounding comment.  See docs/ANALYSIS.md for the
+full catalog and worked examples.
+
+Usage::
+
+    python -m repro.tools.simcheck src/repro
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import re
+import sys
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Finding", "RULES", "check_source", "check_file", "check_paths", "main"]
+
+#: Rule catalog: id -> one-line description (mirrored in docs/ANALYSIS.md).
+RULES: Dict[str, str] = {
+    "SIM001": "wall-clock read in simulator code (use env.now)",
+    "SIM002": "unseeded random source (seed every RNG explicitly)",
+    "SIM003": "iteration over a set feeds an ordering decision (sort first)",
+    "SIM004": "float equality against the virtual clock",
+    "SIM005": "MANIFEST commit not dominated by a data barrier",
+}
+
+#: Fully-qualified callables that read the wall clock (SIM001).
+WALL_CLOCK_CALLS: Set[str] = {
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+#: Module-level random functions that draw from the hidden global RNG (SIM002).
+GLOBAL_RANDOM_CALLS: Set[str] = {
+    "random.random", "random.randrange", "random.randint", "random.choice",
+    "random.choices", "random.shuffle", "random.sample", "random.uniform",
+    "random.gauss", "random.expovariate", "random.betavariate",
+    "random.getrandbits", "random.randbytes", "random.seed",
+    "os.urandom",
+}
+
+#: Builtins whose result does not depend on the iteration order of their
+#: argument — a set flowing into one of these is harmless (SIM003).
+ORDER_INSENSITIVE_CONSUMERS: Set[str] = {
+    "sorted", "sum", "len", "min", "max", "any", "all", "set", "frozenset",
+}
+
+#: Methods that return a set when called on one (SIM003 type inference).
+SET_RETURNING_METHODS: Set[str] = {
+    "union", "intersection", "difference", "symmetric_difference",
+}
+
+# SIM005 call classes for the barrier-dominance walk.
+BARRIER_NAMES: Set[str] = {"fsync", "fdatasync", "fdatabarrier", "seal"}
+WRITE_NAMES: Set[str] = {"next_handle"}
+COMMIT_NAMES: Set[str] = {"log_and_apply"}
+
+_WAIVER_RE = re.compile(r"#\s*simcheck:\s*waive\[([A-Za-z0-9*,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation: where it is, which rule, and why."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """Format as ``path:line:col: RULE message`` for terminals/CI."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _parse_waivers(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of waived rule ids (``*`` waives all)."""
+    waivers: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _WAIVER_RE.search(text)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",")}
+            waivers[lineno] = {r for r in rules if r}
+    return waivers
+
+
+def _build_parent_map(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    """Child -> parent for every node, for consumer-context lookups."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _import_aliases(tree: ast.AST) -> Dict[str, str]:
+    """Local name -> dotted origin for every import in the module.
+
+    ``import time`` maps ``time -> time``; ``import random as rnd`` maps
+    ``rnd -> random``; ``from time import time as _t`` maps
+    ``_t -> time.time``.  Relative imports resolve to their bare module
+    name, which is enough for the rule tables above.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = origin
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            for alias in node.names:
+                local = alias.asname or alias.name
+                origin = f"{module}.{alias.name}" if module else alias.name
+                aliases[local] = origin
+    return aliases
+
+
+def _dotted_name(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve a Name/Attribute chain to a dotted origin, or None.
+
+    ``rnd.randrange`` with ``import random as rnd`` resolves to
+    ``random.randrange``; a chain rooted at anything other than a plain
+    name (e.g. ``self.rng.random``) resolves to None, which correctly
+    exempts instance-bound RNGs from SIM002.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = aliases.get(node.id, node.id)
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+# ---------------------------------------------------------------------------
+# SIM001 / SIM002: wall clock and unseeded randomness
+# ---------------------------------------------------------------------------
+
+def _check_clock_and_rng(tree: ast.AST, aliases: Dict[str, str],
+                         path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted_name(node.func, aliases)
+        if dotted is None:
+            continue
+        if dotted in WALL_CLOCK_CALLS:
+            findings.append(Finding(
+                path, node.lineno, node.col_offset, "SIM001",
+                f"call to {dotted}() reads the wall clock; simulator code "
+                f"must use env.now"))
+        elif dotted in GLOBAL_RANDOM_CALLS:
+            findings.append(Finding(
+                path, node.lineno, node.col_offset, "SIM002",
+                f"call to {dotted}() draws from an unseeded global RNG; "
+                f"thread a seeded random.Random through instead"))
+        elif dotted == "random.Random" and not node.args and not node.keywords:
+            findings.append(Finding(
+                path, node.lineno, node.col_offset, "SIM002",
+                "random.Random() without a seed is nondeterministic; pass "
+                "an explicit seed"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# SIM003: unordered-set iteration feeding an ordering decision
+# ---------------------------------------------------------------------------
+
+def _set_typed_names(tree: ast.AST) -> Tuple[Set[str], Set[str]]:
+    """Names (and ``self.<attr>`` attrs) assigned set-typed values."""
+    names: Set[str] = set()
+    self_attrs: Set[str] = set()
+    for node in ast.walk(tree):
+        value = None
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, list(node.targets)
+        elif isinstance(node, ast.AnnAssign):
+            value, targets = node.value, [node.target]
+            annotation = ast.dump(node.annotation)
+            if "'Set'" in annotation or "'set'" in annotation \
+                    or "'FrozenSet'" in annotation or "'frozenset'" in annotation:
+                value = value if value is not None else ast.Set(elts=[])
+        elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.BitOr):
+            value, targets = node.value, [node.target]
+            # ``s |= other`` only keeps s a set if it already was one;
+            # rely on the original binding having been recorded.
+            value = None
+        if value is None or not _is_set_expr(value, names, self_attrs):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                self_attrs.add(target.attr)
+    return names, self_attrs
+
+
+def _is_set_expr(node: ast.AST, names: Set[str], self_attrs: Set[str]) -> bool:
+    """Conservatively: does this expression evaluate to a set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in SET_RETURNING_METHODS:
+            return _is_set_expr(func.value, names, self_attrs)
+    if isinstance(node, ast.Name) and node.id in names:
+        return True
+    if (isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name)
+            and node.value.id == "self" and node.attr in self_attrs):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd,
+                                                            ast.Sub, ast.BitXor)):
+        return (_is_set_expr(node.left, names, self_attrs)
+                and _is_set_expr(node.right, names, self_attrs))
+    return False
+
+
+def _consumer_is_order_insensitive(node: ast.AST,
+                                   parents: Dict[ast.AST, ast.AST]) -> bool:
+    """Is ``node``'s value consumed by an order-insensitive builtin?"""
+    parent = parents.get(node)
+    return (isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id in ORDER_INSENSITIVE_CONSUMERS
+            and node in parent.args)
+
+
+def _check_set_iteration(tree: ast.AST, parents: Dict[ast.AST, ast.AST],
+                         path: str) -> List[Finding]:
+    names, self_attrs = _set_typed_names(tree)
+    findings: List[Finding] = []
+
+    def flag(node: ast.AST, context: str) -> None:
+        findings.append(Finding(
+            path, node.lineno, node.col_offset, "SIM003",
+            f"iteration over a set {context}; wrap it in sorted(...) so the "
+            f"order is deterministic"))
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if _is_set_expr(node.iter, names, self_attrs):
+                flag(node.iter, "drives a for-loop body in set order")
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            if any(_is_set_expr(gen.iter, names, self_attrs)
+                   for gen in node.generators):
+                if not _consumer_is_order_insensitive(node, parents):
+                    flag(node, "feeds an order-sensitive comprehension")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Name)
+                    and func.id in ("list", "tuple", "enumerate")
+                    and node.args
+                    and _is_set_expr(node.args[0], names, self_attrs)):
+                flag(node.args[0], f"is materialized by {func.id}() in set order")
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# SIM004: float equality against the virtual clock
+# ---------------------------------------------------------------------------
+
+def _mentions_clock(node: ast.AST) -> bool:
+    """Does this expression read the virtual clock (``*.now``)?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == "now":
+            return True
+    return False
+
+
+def _check_clock_equality(tree: ast.AST, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        sides = [node.left] + list(node.comparators)
+        ops_eq = [op for op in node.ops if isinstance(op, (ast.Eq, ast.NotEq))]
+        if not ops_eq:
+            continue
+        if any(_mentions_clock(side) for side in sides):
+            findings.append(Finding(
+                path, node.lineno, node.col_offset, "SIM004",
+                "float ==/!= against the virtual clock; compare with an "
+                "epsilon or restructure around event completion"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# SIM005: barrier-dominated MANIFEST commits
+# ---------------------------------------------------------------------------
+
+def _function_table(tree: ast.AST) -> Dict[str, List[ast.AST]]:
+    """Bare function name -> definitions (methods keyed by bare name)."""
+    table: Dict[str, List[ast.AST]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            table.setdefault(node.name, []).append(node)
+    return table
+
+
+def _called_names(fn: ast.AST) -> List[Tuple[int, int, str]]:
+    """(line, col, bare callee name) for every call in ``fn``, in order."""
+    calls: List[Tuple[int, int, str]] = []
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            calls.append((node.lineno, node.col_offset, func.attr))
+        elif isinstance(func, ast.Name):
+            calls.append((node.lineno, node.col_offset, func.id))
+    calls.sort()
+    return calls
+
+
+def _reaches(table: Dict[str, List[ast.AST]], targets: Set[str]) -> Set[str]:
+    """Function names that (transitively) call any name in ``targets``."""
+    direct_calls: Dict[str, Set[str]] = {
+        name: {callee for fn in defs for _, _, callee in _called_names(fn)}
+        for name, defs in table.items()
+    }
+    reaching: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name in sorted(direct_calls):
+            if name in reaching:
+                continue
+            callees = direct_calls[name]
+            if callees & targets or callees & reaching:
+                reaching.add(name)
+                changed = True
+    return reaching
+
+
+def _check_barrier_dominance(tree: ast.AST, path: str) -> List[Finding]:
+    """Walk each function: a commit with an unsealed write is a finding.
+
+    A call is a *write* if it is (or transitively reaches) one of
+    WRITE_NAMES, a *barrier* if it reaches BARRIER_NAMES.  A helper that
+    reaches both (e.g. ``_build_tables``, which seals its sink before
+    returning) leaves the path sealed.  State is intra-function only: we
+    assume every function starts with no pending unsealed write, which
+    matches how the engines structure their durability paths.
+    """
+    table = _function_table(tree)
+    reaches_write = _reaches(table, WRITE_NAMES)
+    reaches_barrier = _reaches(table, BARRIER_NAMES)
+    findings: List[Finding] = []
+    for name in sorted(table):
+        for fn in table[name]:
+            pending: Optional[Tuple[int, int]] = None
+            for line, col, callee in _called_names(fn):
+                if callee in COMMIT_NAMES:
+                    if pending is not None:
+                        findings.append(Finding(
+                            path, line, col, "SIM005",
+                            f"{callee}() commits the MANIFEST while the table "
+                            f"write at line {pending[0]} has no intervening "
+                            f"barrier (seal/fsync the data first)"))
+                    continue
+                is_write = callee in WRITE_NAMES or callee in reaches_write
+                is_barrier = callee in BARRIER_NAMES or callee in reaches_barrier
+                if is_barrier:
+                    # Reaching a barrier seals everything before it —
+                    # including a write issued by the same helper.
+                    pending = None
+                elif is_write:
+                    pending = (line, col)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def check_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Run every rule over one source blob; returns unwaived findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path, exc.lineno or 0, exc.offset or 0, "SIM000",
+                        f"syntax error: {exc.msg}")]
+    aliases = _import_aliases(tree)
+    parents = _build_parent_map(tree)
+    findings: List[Finding] = []
+    findings.extend(_check_clock_and_rng(tree, aliases, path))
+    findings.extend(_check_set_iteration(tree, parents, path))
+    findings.extend(_check_clock_equality(tree, path))
+    findings.extend(_check_barrier_dominance(tree, path))
+    waivers = _parse_waivers(source)
+    kept = [f for f in findings
+            if not ({f.rule, "*"} & waivers.get(f.line, set()))]
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept
+
+
+def check_file(path: str) -> List[Finding]:
+    """Lint one file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return check_source(handle.read(), path)
+
+
+def _iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        yield os.path.join(dirpath, filename)
+        else:
+            yield path
+
+
+def check_paths(paths: Sequence[str]) -> List[Finding]:
+    """Lint every ``.py`` file under the given files/directories."""
+    findings: List[Finding] = []
+    for filename in _iter_python_files(paths):
+        findings.extend(check_file(filename))
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: print findings, exit 1 if any."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.simcheck",
+        description="determinism linter for the simulator codebase")
+    parser.add_argument("paths", nargs="+",
+                        help="files or directories to lint")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule in sorted(RULES):
+            print(f"{rule}  {RULES[rule]}")
+        return 0
+    findings = check_paths(args.paths)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"simcheck: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0

@@ -139,9 +139,15 @@ class Stack:
     tracer: Optional[Tracer] = None
 
 
-def new_stack(config: BenchConfig, tracer: Optional[Tracer] = None) -> Stack:
-    """Build one simulated machine (env, device, fs) for ``config``."""
-    env = Environment(tracer=tracer)
+def new_stack(config: BenchConfig, tracer: Optional[Tracer] = None,
+              sanitize: bool = False) -> Stack:
+    """Build one simulated machine (env, device, fs) for ``config``.
+
+    ``sanitize=True`` enables the :mod:`repro.analysis.sanitizer`
+    lockdep/race checker on the environment; inspect or assert on
+    ``stack.env.sanitizer.reports`` after the run.
+    """
+    env = Environment(tracer=tracer, sanitize=sanitize)
     device = BlockDevice(env, config.resolved_device())
     fs = SimFS(env, device, PageCache(config.resolved_page_cache_bytes()))
     return Stack(env, device, fs, tracer)
@@ -212,7 +218,8 @@ def run_suite(system: SystemSpec, config: BenchConfig,
               request_dist: str = "zipfian",
               options: Optional[Options] = None,
               trace: Optional[Any] = None,
-              tracer: Optional[Tracer] = None) -> Dict[str, PhaseResult]:
+              tracer: Optional[Tracer] = None,
+              sanitize: bool = False) -> Dict[str, PhaseResult]:
     """Run a full YCSB suite for one system, in the paper's §4.1 order.
 
     ``request_dist`` overrides the request distribution of the run
@@ -235,7 +242,7 @@ def run_suite(system: SystemSpec, config: BenchConfig,
 
     def fresh_db() -> Tuple[Stack, LSMEngine]:
         """Build a fresh stack and open the system under test on it."""
-        stack = new_stack(config, tracer=tracer)
+        stack = new_stack(config, tracer=tracer, sanitize=sanitize)
         db = system.engine_cls.open_sync(
             stack.env, stack.fs,
             opts if opts is not None else system.options(config.scale), "db")

@@ -157,7 +157,7 @@ class BoLTMixin:
             try:
                 if live_containers.get(meta.container, 0) == 0:
                     if self.fd_cache is not None:
-                        self.fd_cache.evict(meta.container)
+                        yield from self.fd_cache.evict(meta.container)
                     if tracer.enabled:
                         tracer.count("bolt.containers_unlinked")
                     yield from self.fs.unlink(meta.container)

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Any, Generator
 
 from ..lsm.cache import LRUCache
-from ..sim import Event
+from ..sim import Event, Resource
 from ..storage import FileHandle, SimFS
 
 __all__ = ["FileDescriptorCache"]
@@ -25,6 +25,13 @@ class FileDescriptorCache:
     def __init__(self, fs: SimFS, capacity: int = 1000):
         self.fs = fs
         self._cache = LRUCache(capacity, by_bytes=False)
+        #: Serializes miss-fills and evictions: without it, two workers
+        #: missing on the same container both pay the open, and an evict
+        #: racing an in-flight fill can reinsert a stale handle for an
+        #: unlinked file.
+        self._lock = Resource(fs.env, 1, name="fd-cache-lock")
+        if fs.env.sanitizer.enabled:
+            fs.env.sanitizer.register(self, "fd-cache")
 
     @property
     def hits(self) -> int:
@@ -46,6 +53,7 @@ class FileDescriptorCache:
         on a cache miss.  Matches the ``TableCache.open_container``
         hook signature."""
         tracer = self.fs.env.tracer
+        sanitizer = self.fs.env.sanitizer
         handle = self._cache.get(name)
         if handle is not None:
             if tracer.enabled:
@@ -53,10 +61,30 @@ class FileDescriptorCache:
             return handle
         if tracer.enabled:
             tracer.count("fd_cache.miss")
-        handle = yield from self.fs.open(name)
-        self._cache.put(name, handle)
+        if not self._lock.try_acquire():
+            # Contended: another process is filling or evicting.  Wait
+            # our turn, then re-check — it may have filled this name.
+            yield self._lock.acquire()
+            filled = self._cache.get(name)
+            if filled is not None:
+                self._lock.release()
+                return filled
+        try:
+            handle = yield from self.fs.open(name)
+            self._cache.put(name, handle)
+            if sanitizer.enabled:
+                sanitizer.note_write(self, "lru")
+        finally:
+            self._lock.release()
         return handle
 
-    def evict(self, name: str) -> None:
+    def evict(self, name: str) -> Generator[Event, Any, None]:
         """Drop a handle (called when its container file is unlinked)."""
-        self._cache.remove(name)
+        if not self._lock.try_acquire():
+            yield self._lock.acquire()
+        try:
+            self._cache.remove(name)
+            if self.fs.env.sanitizer.enabled:
+                self.fs.env.sanitizer.note_write(self, "lru")
+        finally:
+            self._lock.release()

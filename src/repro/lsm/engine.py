@@ -204,6 +204,11 @@ class LSMEngine:
         self._mutex = Resource(env, 1, name=f"{dbname}-mutex")
         self._bg_work = Condition(env, name=f"{dbname}-bg-work")
         self._bg_done = Condition(env, name=f"{dbname}-bg-done")
+        if env.sanitizer.enabled:
+            # Track the shared state the sanitizer's write-set pass
+            # watches: the memtable switch lives on the engine itself;
+            # the version set registers in its own constructor.
+            env.sanitizer.register(self, f"{dbname}-engine")
         self._busy_tables: Set[int] = set()
         self._flush_in_progress = False
         self._compactions_in_progress = 0
@@ -506,6 +511,8 @@ class LSMEngine:
                 self._imm = self._memtable
                 self._imm_wal_name = self._wal_name(self._wal_number)
                 self._memtable = MemTable(seed=opts.seed)
+                if self.env.sanitizer.enabled:
+                    self.env.sanitizer.note_write(self, "memtable_switch")
                 yield from self._new_wal()
                 self._bg_work.notify_all()
 
@@ -819,6 +826,8 @@ class LSMEngine:
                 self._imm = self._memtable
                 self._imm_wal_name = self._wal_name(self._wal_number)
                 self._memtable = MemTable(seed=self.options.seed)
+                if self.env.sanitizer.enabled:
+                    self.env.sanitizer.note_write(self, "memtable_switch")
                 yield from self._new_wal()
                 self._bg_work.notify_all()
         finally:
@@ -851,11 +860,20 @@ class LSMEngine:
             for meta in metas:
                 edit.add_file(0, meta)
             yield from self.versions.log_and_apply(edit, meter)
-            self._imm = None
+            # The memtable switch is shared with writers rotating in
+            # _make_room/flush_all (all under the mutex): retire the
+            # immutable MemTable under it too, as LevelDB does.
+            yield self._mutex.acquire()
+            try:
+                self._imm = None
+                old_wal = self._imm_wal_name
+                self._imm_wal_name = None
+                if self.env.sanitizer.enabled:
+                    self.env.sanitizer.note_write(self, "memtable_switch")
+            finally:
+                self._mutex.release()
             self.stats.memtable_flushes += 1
             self.stats.compaction_time += self.env.now - started
-            old_wal = self._imm_wal_name
-            self._imm_wal_name = None
             if old_wal and self.fs.exists(old_wal):
                 yield from self.fs.unlink(old_wal)
             span.set(tables=len(metas))

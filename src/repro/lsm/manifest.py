@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
-from ..sim import CpuMeter, Environment, Event
+from ..sim import CpuMeter, Environment, Event, Resource
 from ..storage import FileHandle, SimFS
 from .codec import (
     CorruptionError,
@@ -187,6 +187,13 @@ class VersionSet:
         #: fatal background error (RocksDB's rule: a failed MANIFEST
         #: write requires a reopen).
         self.manifest_in_doubt = False
+        #: Serializes log_and_apply: with multiple compaction workers,
+        #: two commits interleaving across the fsync yield would corrupt
+        #: the in_doubt accounting and install versions out of append
+        #: order (LevelDB serializes this under mutex_ + a writer queue).
+        self._commit_lock = Resource(env, 1, name=f"{dbname}-manifest-lock")
+        if env.sanitizer.enabled:
+            env.sanitizer.register(self, f"{dbname}-versions")
 
     # -- names ------------------------------------------------------------
 
@@ -262,6 +269,8 @@ class VersionSet:
                 keys.append(key)
                 keys.sort()
         self.current = version
+        if self.env.sanitizer.enabled:
+            self.env.sanitizer.note_write(self, "current")
 
     def quarantine_now(self, number: int) -> None:
         """Mark table ``number`` quarantined in the live version at once.
@@ -280,28 +289,32 @@ class VersionSet:
         This is the second of the two barriers a BoLT compaction pays
         (§1: "one for the compaction file and the other for MANIFEST").
         """
-        edit.next_file_number = self.next_file_number
-        edit.last_sequence = self.last_sequence
-        edit.log_number = self.log_number
-        with self.env.tracer.span("manifest.commit", cat="engine",
-                                  new_files=len(edit.new_files),
-                                  deleted=len(edit.deleted_files)):
-            # SimFS appends are all-or-nothing (a DiskFullError leaves
-            # the file untouched), so the record is either fully in the
-            # log or absent — in-doubt starts only once it is appended.
-            self._manifest_writer.append(edit.encode(), meter)
-            self.manifest_in_doubt = True
-            # Crash site: the edit is appended but not yet committed.
-            self.fs.fault_site("manifest.append",
-                               manifest=self._manifest_handle.name)
-            yield from self._manifest_handle.fsync()
-            # Crash site: the commit mark is durable; cleanup of the
-            # superseded tables has not run yet.
-            self.fs.fault_site("manifest.commit",
-                               manifest=self._manifest_handle.name)
-        self.manifest_writes += 1
-        self._apply(edit)
-        self.manifest_in_doubt = False
+        yield self._commit_lock.acquire()
+        try:
+            edit.next_file_number = self.next_file_number
+            edit.last_sequence = self.last_sequence
+            edit.log_number = self.log_number
+            with self.env.tracer.span("manifest.commit", cat="engine",
+                                      new_files=len(edit.new_files),
+                                      deleted=len(edit.deleted_files)):
+                # SimFS appends are all-or-nothing (a DiskFullError leaves
+                # the file untouched), so the record is either fully in the
+                # log or absent — in-doubt starts only once it is appended.
+                self._manifest_writer.append(edit.encode(), meter)
+                self.manifest_in_doubt = True
+                # Crash site: the edit is appended but not yet committed.
+                self.fs.fault_site("manifest.append",
+                                   manifest=self._manifest_handle.name)
+                yield from self._manifest_handle.fsync()
+                # Crash site: the commit mark is durable; cleanup of the
+                # superseded tables has not run yet.
+                self.fs.fault_site("manifest.commit",
+                                   manifest=self._manifest_handle.name)
+            self.manifest_writes += 1
+            self._apply(edit)
+            self.manifest_in_doubt = False
+        finally:
+            self._commit_lock.release()
 
     # -- lifecycle ----------------------------------------------------------------
 

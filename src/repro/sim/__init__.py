@@ -5,12 +5,21 @@ See :mod:`repro.sim.kernel` for the event loop, process and event types,
 :mod:`repro.sim.cpu` for host CPU cost accounting.
 """
 
-from .kernel import Environment, Event, Interrupt, Process, SimulationError, Timeout
+from .kernel import (
+    Environment,
+    Event,
+    Interrupt,
+    Kernel,
+    Process,
+    SimulationError,
+    Timeout,
+)
 from .resources import Condition, Gate, Resource
 from .cpu import CostModel, CpuMeter
 
 __all__ = [
     "Environment",
+    "Kernel",
     "Event",
     "Interrupt",
     "Process",

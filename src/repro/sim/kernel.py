@@ -29,12 +29,15 @@ write stalls) as ordinary structured code.
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from ..analysis.sanitizer import NULL_SANITIZER, Sanitizer
 from ..obs.tracer import NULL_TRACER
 
 __all__ = [
     "Environment",
+    "Kernel",
     "Event",
     "Timeout",
     "Process",
@@ -240,7 +243,8 @@ class Process(Event):
 class Environment:
     """The event loop: a priority queue of events ordered by virtual time."""
 
-    def __init__(self, initial_time: float = 0.0, tracer: Any = None):
+    def __init__(self, initial_time: float = 0.0, tracer: Any = None,
+                 sanitize: bool = False):
         self._now = float(initial_time)
         self._queue: List[Any] = []
         self._seq = 0
@@ -249,6 +253,10 @@ class Environment:
         self._tracer = NULL_TRACER
         if tracer is not None:
             self.tracer = tracer
+        #: Lockdep + data-race checker (:mod:`repro.analysis.sanitizer`);
+        #: the shared NULL_SANITIZER when sanitize mode is off, so hot
+        #: paths guard with a single ``enabled`` attribute read.
+        self.sanitizer = Sanitizer(self) if sanitize else NULL_SANITIZER
 
     @property
     def now(self) -> float:
@@ -373,7 +381,7 @@ class Environment:
         if self._now < until:
             self._now = until
 
-    def run_until(self, event: Event, limit: float = float("inf")) -> Any:
+    def run_until(self, event: Event, limit: float = math.inf) -> Any:
         """Run until ``event`` is processed; return its value.
 
         Raises the event's exception if it failed, or
@@ -388,3 +396,8 @@ class Environment:
                 raise SimulationError(f"virtual time limit {limit} exceeded")
             self.step()
         return event.value
+
+
+#: Alias emphasizing the "simulation kernel" role, matching the analysis
+#: docs' ``Kernel(sanitize=True)`` spelling.
+Kernel = Environment

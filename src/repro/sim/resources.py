@@ -55,6 +55,15 @@ class Resource:
         """Return an event that succeeds once a slot is granted."""
         self.total_acquisitions += 1
         grant = self.env.event()
+        sanitizer = self.env.sanitizer
+        if sanitizer.enabled and self.capacity == 1:
+            # Capture the acquiring process now; the grant may be
+            # processed later (contended hand-off), when a different
+            # process is active.  Semaphores (capacity > 1) are device
+            # channels, not mutexes — no ordering discipline applies.
+            owner = self.env.active_process
+            grant.add_callback(
+                lambda _event: sanitizer.note_acquired(self, owner))
         if self._in_use < self.capacity and not self._waiters:
             self._in_use += 1
             grant.succeed(self)
@@ -68,6 +77,9 @@ class Resource:
         if self._in_use < self.capacity and not self._waiters:
             self._in_use += 1
             self.total_acquisitions += 1
+            sanitizer = self.env.sanitizer
+            if sanitizer.enabled and self.capacity == 1:
+                sanitizer.note_acquired(self, self.env.active_process)
             return True
         return False
 
@@ -75,6 +87,9 @@ class Resource:
         """Release a slot, waking the oldest waiter if any."""
         if self._in_use <= 0:
             raise SimulationError(f"release of idle resource {self.name!r}")
+        sanitizer = self.env.sanitizer
+        if sanitizer.enabled and self.capacity == 1:
+            sanitizer.note_released(self, self.env.active_process)
         if self._waiters:
             grant = self._waiters.popleft()
             grant.succeed(self)  # slot transfers directly to the waiter

@@ -461,6 +461,8 @@ class SimFS:
         pending = [page for page in file.dirty if page not in file.submitted]
         file.submitted.update(pending)
         self.epoch += 1
+        if self.env.sanitizer.enabled:
+            self.env.sanitizer.barrier("fdatabarrier")
         with self.env.tracer.span("fdatabarrier", cat="ordering",
                                   file=file.name, pages=len(pending)):
             if pending:
@@ -479,6 +481,8 @@ class SimFS:
         file.submitted.clear()
         file.durable_size = file.size
         self.epoch += 1
+        if self.env.sanitizer.enabled:
+            self.env.sanitizer.barrier("fsync")
         # A FLUSH drains the whole device cache: every page previously
         # dispatched by an ordering barrier is durable now too.
         for other in self._files.values():

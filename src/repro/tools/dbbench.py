@@ -57,6 +57,10 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="write a Chrome trace-event JSON of the run "
                              "(open in Perfetto) and print a phase summary")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run with the lockdep/race sanitizer enabled "
+                             "(repro.analysis.sanitizer); exit non-zero if "
+                             "it reports anything")
     parser.add_argument("--crash-sweep", action="store_true",
                         help="instead of benchmarking, run the repro.faults "
                              "crash-consistency sweep for --engine and exit "
@@ -127,7 +131,8 @@ def run_benchmarks(args: argparse.Namespace,
                          value_size=args.value_size, seed=args.seed)
     trace_path = getattr(args, "trace", None)
     tracer = Tracer() if trace_path else None
-    stack = new_stack(config, tracer=tracer)
+    sanitize = getattr(args, "sanitize", False)
+    stack = new_stack(config, tracer=tracer, sanitize=sanitize)
     system = SYSTEMS[args.engine]
     db = system.engine_cls.open_sync(
         stack.env, stack.fs, system.options(config.scale), "db")
@@ -232,6 +237,13 @@ def run_benchmarks(args: argparse.Namespace,
         write_chrome_trace(tracer, trace_path)
         out(phase_summary(tracer))
         out(f"trace written to {trace_path} (load in https://ui.perfetto.dev)")
+    if sanitize:
+        reports = stack.env.sanitizer.reports
+        if reports:
+            for report in reports:
+                out(f"sanitizer: {report.render()}")
+            raise SystemExit(1)
+        out("sanitizer: clean (no lock-order cycles, no data races)")
     return rows
 
 

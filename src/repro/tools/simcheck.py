@@ -1,0 +1,19 @@
+"""CLI wrapper for the determinism linter.
+
+Usage::
+
+    python -m repro.tools.simcheck src/repro         # lint the library
+    python -m repro.tools.simcheck --list-rules      # print the catalog
+
+Exits non-zero on any finding; see docs/ANALYSIS.md for the rule
+catalog and the ``# simcheck: waive[RULE]`` escape hatch.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ..analysis.simcheck import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -146,9 +146,9 @@ def main(argv: Optional[List[str]] = None, out=print) -> List[dict]:
     try:
         events = load_events(args.trace)
     except OSError as exc:
-        raise SystemExit(f"traceview: cannot read {args.trace}: {exc}")
+        raise SystemExit(f"traceview: cannot read {args.trace}: {exc}") from exc
     except ValueError as exc:  # bad JSON or not a trace file
-        raise SystemExit(f"traceview: {exc}")
+        raise SystemExit(f"traceview: {exc}") from exc
     rows = summarize_trace(events, cat=args.cat, track=args.track)
     instants = sum(1 for event in events if event.get("ph") == "i")
     out(format_table(rows, title=f"{args.trace}: {len(events)} events "

@@ -52,6 +52,17 @@ def build_key(keynum: int, hashed: bool = True) -> bytes:
     return b"user%019d" % (keynum % (10 ** 19))
 
 
+def _require_rng(rng: Optional[random.Random]) -> random.Random:
+    """Reject a missing RNG instead of silently falling back to an
+    unseeded one: every generator must derive from the workload seed so
+    two identical invocations produce byte-identical operation streams."""
+    if rng is None:
+        raise TypeError(
+            "rng is required: pass a seeded random.Random derived from "
+            "the workload seed (unseeded fallbacks break reproducibility)")
+    return rng
+
+
 class UniformGenerator:
     """Uniform choice over ``[0, item_count)``."""
 
@@ -59,7 +70,7 @@ class UniformGenerator:
         if item_count <= 0:
             raise ValueError("item_count must be positive")
         self.item_count = item_count
-        self.rng = rng or random.Random()
+        self.rng = _require_rng(rng)
 
     def next(self) -> int:
         """Draw a uniformly random item index."""
@@ -79,7 +90,7 @@ class ZipfianGenerator:
                  rng: Optional[random.Random] = None):
         if item_count <= 0:
             raise ValueError("item_count must be positive")
-        self.rng = rng or random.Random()
+        self.rng = _require_rng(rng)
         self.theta = theta
         self.alpha = 1.0 / (1.0 - theta)
         self.item_count = 0

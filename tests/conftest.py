@@ -1,5 +1,7 @@
 """Shared fixtures: simulated stacks and small engine configurations."""
 
+import os
+
 import pytest
 
 from repro.lsm import Options
@@ -9,10 +11,18 @@ from repro.storage import BlockDevice, PageCache, SATA_SSD, SimFS
 KB = 1 << 10
 MB = 1 << 20
 
+#: REPRO_SANITIZE=1 runs every env-fixture test with the lockdep/race
+#: sanitizer enabled (the CI sanitizer smoke job); results must be
+#: identical either way — the sanitizer only observes.
+SANITIZE = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
 
 @pytest.fixture
 def env():
-    return Environment()
+    environment = Environment(sanitize=SANITIZE)
+    yield environment
+    if SANITIZE:
+        environment.sanitizer.check()
 
 
 @pytest.fixture

@@ -101,7 +101,7 @@ class TestFileDescriptorCache:
 
         def scenario():
             yield from cache.open("db/x.cf")
-            cache.evict("db/x.cf")
+            yield from cache.evict("db/x.cf")
             yield from cache.open("db/x.cf")
             return cache.misses
 

@@ -1,0 +1,245 @@
+"""Fixture-snippet tests for every simcheck rule, plus the self-check.
+
+Each rule gets at least one deliberately broken snippet (must be
+flagged) and one clean snippet (must not be).  The final test asserts
+the library itself is simcheck-clean, which is what the CI job enforces.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.simcheck import RULES, check_paths, check_source, main
+
+SRC_REPRO = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def rules_hit(source):
+    return {f.rule for f in check_source(source)}
+
+
+class TestSIM001WallClock:
+    def test_flags_time_time(self):
+        assert "SIM001" in rules_hit(
+            "import time\n"
+            "def stamp():\n"
+            "    return time.time()\n")
+
+    def test_flags_datetime_now_and_aliased_import(self):
+        assert "SIM001" in rules_hit(
+            "import datetime\n"
+            "t = datetime.datetime.now()\n")
+        assert "SIM001" in rules_hit(
+            "from time import perf_counter as pc\n"
+            "t = pc()\n")
+
+    def test_clean_virtual_clock(self):
+        assert "SIM001" not in rules_hit(
+            "def stamp(env):\n"
+            "    return env.now\n")
+
+    def test_clean_unrelated_attribute_named_time(self):
+        # foo.time() is not the time module unless `foo` imports it.
+        assert "SIM001" not in rules_hit(
+            "def stamp(recorder):\n"
+            "    return recorder.time()\n")
+
+
+class TestSIM002UnseededRandom:
+    def test_flags_bare_random_constructor(self):
+        assert "SIM002" in rules_hit(
+            "import random\n"
+            "rng = random.Random()\n")
+
+    def test_flags_module_level_functions_and_urandom(self):
+        assert "SIM002" in rules_hit(
+            "import random\n"
+            "x = random.randrange(10)\n")
+        assert "SIM002" in rules_hit(
+            "import os\n"
+            "salt = os.urandom(8)\n")
+
+    def test_clean_seeded_constructor_and_instance_calls(self):
+        assert "SIM002" not in rules_hit(
+            "import random\n"
+            "rng = random.Random(42)\n"
+            "x = rng.randrange(10)\n")
+
+    def test_clean_aliased_instance(self):
+        assert "SIM002" not in rules_hit(
+            "def draw(self):\n"
+            "    return self.rng.random()\n")
+
+
+class TestSIM003SetIteration:
+    def test_flags_for_loop_over_set_literal(self):
+        assert "SIM003" in rules_hit(
+            "for table in {3, 1, 2}:\n"
+            "    print(table)\n")
+
+    def test_flags_iteration_over_set_typed_name(self):
+        assert "SIM003" in rules_hit(
+            "live = set()\n"
+            "live.add(1)\n"
+            "names = [n for n in live]\n")
+
+    def test_flags_list_materialization_and_set_methods(self):
+        assert "SIM003" in rules_hit(
+            "a = {1, 2}\n"
+            "b = {2, 3}\n"
+            "order = list(a.union(b))\n")
+
+    def test_clean_sorted_iteration(self):
+        assert "SIM003" not in rules_hit(
+            "live = {3, 1, 2}\n"
+            "for table in sorted(live):\n"
+            "    print(table)\n")
+
+    def test_clean_order_insensitive_consumers(self):
+        assert "SIM003" not in rules_hit(
+            "live = {3, 1, 2}\n"
+            "total = sum(x for x in live)\n"
+            "count = len(live)\n"
+            "biggest = max(live)\n")
+
+    def test_clean_dict_iteration(self):
+        # Python dicts are insertion-ordered; values() is deterministic.
+        assert "SIM003" not in rules_hit(
+            "d = {'a': 1}\n"
+            "for v in d.values():\n"
+            "    print(v)\n")
+
+
+class TestSIM004ClockEquality:
+    def test_flags_equality_against_now(self):
+        assert "SIM004" in rules_hit(
+            "def check(env, deadline):\n"
+            "    return env.now == deadline\n")
+        assert "SIM004" in rules_hit(
+            "def check(env, t0):\n"
+            "    assert env.now != t0\n")
+
+    def test_clean_inequalities_and_arithmetic(self):
+        assert "SIM004" not in rules_hit(
+            "def check(env, deadline):\n"
+            "    return env.now >= deadline\n")
+        assert "SIM004" not in rules_hit(
+            "def elapsed(env, t0):\n"
+            "    return env.now - t0\n")
+
+
+class TestSIM005BarrierDominance:
+    BROKEN = (
+        "def compact(self, entries, sink, edit, meter):\n"
+        "    for entry in entries:\n"
+        "        handle, name = yield from sink.next_handle(1)\n"
+        "        handle.append(entry)\n"
+        "    yield from self.versions.log_and_apply(edit, meter)\n")
+
+    FIXED = (
+        "def compact(self, entries, sink, edit, meter):\n"
+        "    for entry in entries:\n"
+        "        handle, name = yield from sink.next_handle(1)\n"
+        "        handle.append(entry)\n"
+        "    yield from sink.seal()\n"
+        "    yield from self.versions.log_and_apply(edit, meter)\n")
+
+    def test_flags_commit_without_barrier(self):
+        assert "SIM005" in rules_hit(self.BROKEN)
+
+    def test_clean_sealed_commit(self):
+        assert "SIM005" not in rules_hit(self.FIXED)
+
+    def test_helper_that_seals_internally_dominates(self):
+        # _build_tables writes AND seals; callers need no extra barrier.
+        assert "SIM005" not in rules_hit(
+            "def _build_tables(self, entries, sink):\n"
+            "    for entry in entries:\n"
+            "        handle, _ = yield from sink.next_handle(1)\n"
+            "    yield from sink.seal()\n"
+            "\n"
+            "def flush(self, edit, meter):\n"
+            "    yield from self._build_tables([], None)\n"
+            "    yield from self.versions.log_and_apply(edit, meter)\n")
+
+    def test_helper_that_only_writes_taints_the_caller(self):
+        assert "SIM005" in rules_hit(
+            "def _build_tables(self, entries, sink):\n"
+            "    for entry in entries:\n"
+            "        handle, _ = yield from sink.next_handle(1)\n"
+            "\n"
+            "def flush(self, edit, meter):\n"
+            "    yield from self._build_tables([], None)\n"
+            "    yield from self.versions.log_and_apply(edit, meter)\n")
+
+    def test_clean_commit_with_no_write(self):
+        # Quarantine persistence commits an edit without table writes.
+        assert "SIM005" not in rules_hit(
+            "def persist(self, edit, meter):\n"
+            "    yield from self.versions.log_and_apply(edit, meter)\n")
+
+
+class TestWaivers:
+    def test_waiver_suppresses_named_rule(self):
+        assert rules_hit(
+            "import random\n"
+            "rng = random.Random()  # simcheck: waive[SIM002]\n") == set()
+
+    def test_waiver_star_suppresses_all(self):
+        assert rules_hit(
+            "import time\n"
+            "t = time.time()  # simcheck: waive[*]\n") == set()
+
+    def test_waiver_for_other_rule_does_not_suppress(self):
+        assert "SIM002" in rules_hit(
+            "import random\n"
+            "rng = random.Random()  # simcheck: waive[SIM001]\n")
+
+
+class TestDriver:
+    def test_findings_carry_location_and_rule(self):
+        findings = check_source("import time\nt = time.time()\n", path="x.py")
+        assert len(findings) == 1
+        f = findings[0]
+        assert (f.path, f.line, f.rule) == ("x.py", 2, "SIM001")
+        assert f.render().startswith("x.py:2:")
+
+    def test_every_rule_id_is_exercised_by_fixtures(self):
+        broken = {
+            "SIM001": "import time\nt = time.time()\n",
+            "SIM002": "import random\nr = random.Random()\n",
+            "SIM003": "for x in {1, 2}:\n    print(x)\n",
+            "SIM004": "def f(env):\n    return env.now == 0.0\n",
+            "SIM005": TestSIM005BarrierDominance.BROKEN,
+        }
+        assert set(broken) == set(RULES)
+        for rule, source in broken.items():
+            assert rule in rules_hit(source), rule
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nt = time.time()\n")
+        assert main([str(clean)]) == 0
+        assert main([str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "SIM001" in out
+
+    def test_syntax_error_is_reported_not_raised(self):
+        findings = check_source("def broken(:\n", path="bad.py")
+        assert findings and findings[0].rule == "SIM000"
+
+
+class TestSelfCheck:
+    def test_src_repro_is_simcheck_clean(self):
+        findings = check_paths([str(SRC_REPRO)])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_cli_module_runs_clean_on_the_tree(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.tools.simcheck", str(SRC_REPRO)],
+            capture_output=True, text=True,
+            cwd=str(SRC_REPRO.parent.parent),
+            env={"PYTHONPATH": str(SRC_REPRO.parent), "PATH": "/usr/bin:/bin"})
+        assert proc.returncode == 0, proc.stdout + proc.stderr

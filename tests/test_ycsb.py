@@ -88,6 +88,18 @@ class TestDistributions:
         with pytest.raises(ValueError):
             ZipfianGenerator(0)
 
+    def test_rng_is_required(self):
+        # No silent fallback to an unseeded random.Random(): that made
+        # two identical dbbench invocations diverge (simcheck SIM002).
+        with pytest.raises(TypeError):
+            UniformGenerator(100)
+        with pytest.raises(TypeError):
+            ZipfianGenerator(100)
+        with pytest.raises(TypeError):
+            ScrambledZipfianGenerator(100)
+        with pytest.raises(TypeError):
+            LatestGenerator(InsertCounter(100))
+
 
 class TestWorkloadSpecs:
     def test_canonical_mixes(self):
@@ -141,6 +153,24 @@ class TestWorkloadRunner:
         ops1 = list(WorkloadRunner(WORKLOADS["a"], 1000, seed=9).operations(100))
         ops2 = list(WorkloadRunner(WORKLOADS["a"], 1000, seed=9).operations(100))
         assert ops1 == ops2
+
+    def test_same_ycsb_a_config_twice_is_byte_identical(self):
+        # Regression for the unseeded-RNG fallback: the full YCSB-A
+        # sequence (load phase + request phase, every kind, key and
+        # value) must be equal across two independent constructions.
+        def stream():
+            counter = InsertCounter(0)
+            load = list(WorkloadRunner(WORKLOADS["load_a"], 0, seed=42,
+                                       value_size=128,
+                                       insert_counter=counter).operations(500))
+            request = list(WorkloadRunner(WORKLOADS["a"], 500, seed=42,
+                                          value_size=128,
+                                          insert_counter=counter).operations(800))
+            return load + request
+
+        first, second = stream(), stream()
+        assert first == second
+        assert len(first) == 1300
 
     def test_inserts_extend_counter(self):
         counter = InsertCounter(100)
