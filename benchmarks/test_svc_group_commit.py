@@ -1,0 +1,131 @@
+"""Group-commit acceptance benchmarks.
+
+* Sustained 8-writer concurrency with ``wal_sync=True`` must cut WAL
+  barriers per acknowledged write by >= 4x vs a single writer on the
+  same device model.
+* Open-loop p999 for the 1-client case must not regress vs the same
+  run with merging disabled (``write_group_bytes=0``).
+* A single sequential writer must be untouched by the machinery: one
+  barrier per write, byte-identical WAL and timing across runs.
+"""
+
+from repro.lsm import LSMEngine, Options, WriteBatch
+from repro.lsm.codec import crc32, encode_fixed32
+from repro.sim import Environment
+from repro.storage import BlockDevice, PageCache, SimFS
+from repro.svc import Server, run_open_loop
+from repro.ycsb.workload import WORKLOADS
+
+KB = 1 << 10
+MB = 1 << 20
+
+WRITERS = 8
+WRITES_PER_WRITER = 40
+
+
+def options(**overrides):
+    base = dict(memtable_size=16 * MB, sstable_size=4 * MB,
+                level1_max_bytes=16 * MB, wal_sync=True)
+    base.update(overrides)
+    return Options(**base)
+
+
+def fresh_db(opts):
+    env = Environment()
+    fs = SimFS(env, BlockDevice(env), PageCache(16 << 20))
+    db = LSMEngine.open_sync(env, fs, opts, "db")
+    return env, fs, db
+
+
+def sustained_concurrent_run(opts):
+    """8 writer processes, each issuing its writes back-to-back."""
+    env, fs, db = fresh_db(opts)
+    before = fs.stats.num_barrier_calls
+
+    def writer(wid):
+        for i in range(WRITES_PER_WRITER):
+            yield from db.put(b"w%02d-%04d" % (wid, i), b"v" * 100)
+
+    procs = [env.process(writer(w), name=f"writer-{w}")
+             for w in range(WRITERS)]
+    env.run_until(env.all_of(procs))
+    acked = WRITERS * WRITES_PER_WRITER
+    return fs.stats.num_barrier_calls - before, acked, db
+
+
+def single_writer_run(opts, count):
+    env, fs, db = fresh_db(opts)
+    before = fs.stats.num_barrier_calls
+    for i in range(count):
+        db.put_sync(b"s%05d" % i, b"v" * 100)
+    return fs.stats.num_barrier_calls - before, count, db
+
+
+def test_concurrent_writers_cut_barriers_per_write_4x():
+    total = WRITERS * WRITES_PER_WRITER
+    base_barriers, base_acked, _db = single_writer_run(options(), total)
+    group_barriers, group_acked, db = sustained_concurrent_run(options())
+    base_ratio = base_barriers / base_acked
+    group_ratio = group_barriers / group_acked
+    print(f"\nbarriers/acked write: single {base_ratio:.3f} "
+          f"({base_barriers}/{base_acked}), concurrent {group_ratio:.3f} "
+          f"({group_barriers}/{group_acked}), "
+          f"reduction {base_ratio / group_ratio:.1f}x, "
+          f"barriers_saved {db.stats.barriers_saved}")
+    assert base_ratio == 1.0  # single writer: one barrier per write
+    assert base_ratio / group_ratio >= 4.0
+    assert db.stats.barriers_saved == group_acked - group_barriers > 0
+
+
+def open_loop_p999(opts, seed=23):
+    # One client at 200/s against a ~2 ms synced write: arrivals rarely
+    # overlap, so this measures the solitary-writer serving path.
+    env, _fs, db = fresh_db(opts)
+    for i in range(300):
+        db.put_sync(b"preload%05d" % i, b"x" * 100)
+    server = Server(env, db, num_workers=4, queue_depth=64)
+    report = run_open_loop(env, server, WORKLOADS["a"], num_clients=1,
+                           requests_per_client=300, rate=200.0,
+                           record_count=300, value_size=100, seed=seed)
+    server.close_sync()
+    totals = report.totals()
+    assert totals["ok"] == totals["submitted"] == 300
+    return totals["p999"]
+
+
+def test_one_client_p999_does_not_regress():
+    merged = open_loop_p999(options())
+    unmerged = open_loop_p999(options(write_group_bytes=0))
+    print(f"\n1-client p999: group commit {merged * 1e6:.1f} us, "
+          f"merging disabled {unmerged * 1e6:.1f} us")
+    # Merging can only remove barriers from the open-loop client's
+    # path; it must never add latency (5% bucket-resolution slack).
+    assert merged <= unmerged * 1.05
+
+
+def test_single_writer_results_are_unchanged_and_reproducible():
+    def run():
+        env, fs, db = fresh_db(options())
+        for i in range(60):
+            db.put_sync(b"k%04d" % i, b"v" * 100)
+        wal = bytes(fs._files[db._wal_name(db._wal_number)].data)
+        return env.now, wal, db
+
+    now1, wal1, db1 = run()
+    now2, wal2, _db2 = run()
+    assert now1 == now2 and wal1 == wal2  # fully deterministic
+    # The queue never grouped anything for a solitary writer...
+    assert db1.stats.group_commits == 60
+    assert db1.stats.grouped_writes == 60
+    assert db1.stats.barriers_saved == 0
+    # ...and the WAL holds exactly the pre-group-commit encoding: one
+    # framed single-op batch per put, sequences 1..60.
+    expected = bytearray()
+    for i in range(60):
+        batch = WriteBatch()
+        batch.put(b"k%04d" % i, b"v" * 100)
+        payload = batch.encode(i + 1)
+        expected += encode_fixed32(len(payload))
+        expected += encode_fixed32(crc32(payload))
+        expected += payload
+    assert wal1 == bytes(expected)

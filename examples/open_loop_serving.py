@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Open-loop serving: group commit under multi-client load.
+
+This example puts the serving layer (``repro.svc``) in front of BoLT
+and drives it with open-loop Poisson clients — arrival times fixed in
+advance, latency measured from the *intended* start, so stalls are
+charged to every request they delay (no coordinated omission; see
+docs/SERVING.md). It then repeats the most concurrent run with WAL
+group commit disabled (``write_group_bytes=0``) to show how many
+barriers the writer queue was eliding.
+
+Run:  python examples/open_loop_serving.py
+"""
+
+from repro import bolt_options
+from repro.bench import BenchConfig, new_stack
+from repro.core import BoLTEngine
+from repro.svc import Server, run_open_loop
+from repro.ycsb.distributions import build_key
+from repro.ycsb.workload import WORKLOADS
+
+RECORDS = 2_000
+OPS_PER_ROUND = 400          # requests per client
+SCALE = 256
+RATE = 50_000.0              # arrivals per second per client
+SEED = 11
+
+
+def serve(clients, write_group_bytes=None):
+    config = BenchConfig(scale=SCALE, record_count=RECORDS,
+                         value_size=100, seed=SEED)
+    stack = new_stack(config)
+    options = bolt_options(SCALE).copy(wal_sync=True)
+    if write_group_bytes is not None:
+        options = options.copy(write_group_bytes=write_group_bytes)
+    db = BoLTEngine.open_sync(stack.env, stack.fs, options, "db")
+    for i in range(RECORDS):
+        db.put_sync(build_key(i), b"p" * 100)
+    barriers_before = stack.fs.stats.num_barrier_calls
+    server = Server(stack.env, db, num_workers=4, queue_depth=64)
+    report = run_open_loop(stack.env, server, WORKLOADS["a"],
+                           num_clients=clients,
+                           requests_per_client=OPS_PER_ROUND,
+                           rate=RATE, record_count=RECORDS,
+                           value_size=100, seed=SEED)
+    server.close_sync()
+    totals = report.totals()
+    barriers = stack.fs.stats.num_barrier_calls - barriers_before
+    db.close_sync()
+    return totals, db.stats, barriers
+
+
+def main() -> None:
+    print(f"Workload A, {OPS_PER_ROUND} requests/client, Poisson "
+          f"arrivals at {RATE:.0f}/s/client (scale 1/{SCALE})\n")
+    print("clients |   ok/submitted | barriers | saved |  p50 us | p999 us")
+    print("-" * 66)
+    for clients in (1, 2, 8):
+        totals, stats, barriers = serve(clients)
+        print(f"{clients:7d} | {totals['ok']:6d}/{totals['submitted']:<6d} "
+              f"| {barriers:8d} | {stats.barriers_saved:5d} "
+              f"| {totals['p50'] * 1e6:7.1f} | {totals['p999'] * 1e6:7.1f}")
+    totals, stats, barriers = serve(8, write_group_bytes=0)
+    print(f"{'8 (off)':>7s} | {totals['ok']:6d}/{totals['submitted']:<6d} "
+          f"| {barriers:8d} | {stats.barriers_saved:5d} "
+          f"| {totals['p50'] * 1e6:7.1f} | {totals['p999'] * 1e6:7.1f}")
+    print("\nEven one open-loop client overlaps its own writes at this")
+    print("rate (its requests run concurrently on the server's worker")
+    print("slots), so barriers are shared from the first row; more")
+    print("clients share more. At 8 clients the offered load exceeds the")
+    print("device and the bounded admission queue sheds the excess —")
+    print("ok < submitted — instead of letting latency grow without")
+    print("bound. The last row disables merging: same load, every write")
+    print("pays its own fdatasync — the barrier column is what group")
+    print("commit refunds, and the tail pays for it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,9 @@ The package builds, from scratch, every system the paper touches:
 * the YCSB workload generator (:mod:`repro.ycsb`) and a benchmark
   harness regenerating every figure of the evaluation
   (:mod:`repro.bench`);
+* a multi-client serving layer — server worker slots, admission
+  control, WAL group commit, open-loop load generation
+  (:mod:`repro.svc`);
 * span tracing, counters and Chrome-trace export for the whole
   simulated stack (:mod:`repro.obs`).
 

@@ -32,7 +32,16 @@ def percentile(samples: Sequence[float], p: float) -> float:
 
 
 class LatencyRecorder:
-    """Per-operation-kind latency samples."""
+    """Per-operation-kind latency samples.
+
+    Kinds containing a ``.`` are **auxiliary dimensions** — component
+    breakdowns of a primary kind, like ``update.wait`` (write-stall
+    wait) vs. ``update.service`` under the primary ``update`` total.
+    Aux dimensions are excluded from the kind-less aggregates
+    (:meth:`samples`/:meth:`count`/:meth:`percentile` with
+    ``kind=None``) so recording a breakdown never double-counts the
+    operation it decomposes.
+    """
 
     def __init__(self) -> None:
         self._samples: Dict[str, List[float]] = {}
@@ -42,23 +51,26 @@ class LatencyRecorder:
         self._samples.setdefault(kind, []).append(latency)
 
     def samples(self, kind: Optional[str] = None) -> List[float]:
-        """All samples, or only ``kind``'s when given."""
+        """All primary-kind samples, or only ``kind``'s when given."""
         if kind is not None:
             return list(self._samples.get(kind, []))
         merged: List[float] = []
-        for values in self._samples.values():
-            merged.extend(values)
+        for name, values in self._samples.items():
+            if "." not in name:
+                merged.extend(values)
         return merged
 
     def count(self, kind: Optional[str] = None) -> int:
-        """Number of recorded samples, optionally restricted to ``kind``."""
+        """Number of samples: ``kind``'s, or all primary kinds' summed."""
         if kind is not None:
             return len(self._samples.get(kind, []))
-        return sum(len(v) for v in self._samples.values())
+        return sum(len(v) for k, v in self._samples.items() if "." not in k)
 
-    def kinds(self) -> List[str]:
-        """The operation kinds recorded so far."""
-        return sorted(self._samples)
+    def kinds(self, include_aux: bool = False) -> List[str]:
+        """The primary kinds recorded (plus aux dimensions on request)."""
+        if include_aux:
+            return sorted(self._samples)
+        return sorted(k for k in self._samples if "." not in k)
 
     def percentile(self, p: float, kind: Optional[str] = None) -> float:
         """The ``p``-th percentile latency, optionally per ``kind``."""

@@ -42,8 +42,8 @@ def format_table(rows: Sequence[Dict[str, object]],
     return "\n".join(lines)
 
 
-def unified_snapshot(stack, db=None,
-                     tracer=None) -> Dict[str, Dict[str, float]]:
+def unified_snapshot(stack, db=None, tracer=None, server=None,
+                     recorder=None) -> Dict[str, Dict[str, float]]:
     """Merge every counter in a simulated stack into one nested dict.
 
     Figures, ``dbbench stats`` and trace summaries should all read from
@@ -60,6 +60,12 @@ def unified_snapshot(stack, db=None,
       ``db`` is given)
     * ``metrics`` — the :class:`~repro.obs.MetricsRegistry` counters and
       gauges (only when a tracer with metrics observes the stack)
+    * ``svc``     — :class:`~repro.svc.ServerStats` counters (only when
+      a ``server`` is given)
+    * ``latency`` — per-kind count/mean/p99 from a
+      :class:`~repro.bench.metrics.LatencyRecorder`, aux dimensions
+      (``kind.wait``/``kind.service``) included (only when a
+      ``recorder`` is given)
 
     ``stack`` is anything with ``env``/``device``/``fs`` attributes (the
     harness's :class:`~repro.bench.harness.Stack`); ``tracer`` defaults
@@ -85,6 +91,15 @@ def unified_snapshot(stack, db=None,
         tracer = getattr(stack.env, "tracer", None)
     if tracer is not None and getattr(tracer, "enabled", False):
         snap["metrics"] = tracer.metrics.snapshot()
+    if server is not None:
+        snap["svc"] = server.stats.snapshot()
+    if recorder is not None:
+        latency: Dict[str, float] = {}
+        for kind in recorder.kinds(include_aux=True):
+            latency[f"{kind}.count"] = recorder.count(kind)
+            latency[f"{kind}.mean"] = recorder.mean(kind)
+            latency[f"{kind}.p99"] = recorder.percentile(99.0, kind)
+        snap["latency"] = latency
     return snap
 
 

@@ -38,6 +38,7 @@ from .plan import (
     SITE_TABLE_SEALED,
     SITE_TIMER,
     SITE_WAL_APPEND,
+    SITE_WAL_GROUP_APPEND,
     CrashImage,
     CrashInjector,
     FaultModel,
@@ -67,6 +68,7 @@ __all__ = [
     "SITE_FDATABARRIER",
     "SITE_HOLE_PUNCH",
     "SITE_WAL_APPEND",
+    "SITE_WAL_GROUP_APPEND",
     "SITE_TABLE_SEALED",
     "SITE_MANIFEST_APPEND",
     "SITE_MANIFEST_COMMIT",

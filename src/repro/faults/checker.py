@@ -26,7 +26,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Set
 
-from .plan import CrashImage, FaultModel
+from .plan import SITE_WAL_GROUP_APPEND, CrashImage, FaultModel
 
 __all__ = ["DurabilityOracle", "OracleState", "Violation", "CrashChecker"]
 
@@ -142,6 +142,8 @@ class CrashChecker:
         state = image.oracle
         if state is not None:
             violations.extend(self._check_reads(db, state, label))
+            violations.extend(self._check_group_atomicity(db, image, state,
+                                                          label))
         violations.extend(self._check_manifest_refs(env, fs, db, label))
         violations.extend(self._check_fixed_point(env, fs, db, state, label))
         return violations
@@ -177,6 +179,42 @@ class CrashChecker:
                     detail="recovered a key the workload never wrote",
                     **label))
         return violations
+
+    # -- clause 2b: group commit is all-or-nothing -----------------------
+
+    def _check_group_atomicity(self, db: Any, image: CrashImage,
+                               state: OracleState,
+                               label: Dict[str, str]) -> List[Violation]:
+        """A merged WAL record must survive whole or vanish whole.
+
+        Images captured at ``wal.group_append`` carry the group's key
+        set in their detail.  The group's writes are still *pending*
+        (un-acked) at capture, so for each key we ask whether the
+        post-crash read returned one of its pending values; the count of
+        keys answering "yes" must be 0 (record lost — every key reads
+        its prior durable value) or the full group (record intact).  Any
+        strict subset means the single-CRC record tore apart.
+        """
+        keys = image.detail.get("keys")
+        if image.site != SITE_WAL_GROUP_APPEND or not keys:
+            return []
+        unique = sorted(set(keys))
+        survived: List[bytes] = []
+        for key in unique:
+            try:
+                got = db.get_sync(key)
+            except Exception:  # noqa: BLE001 - already reported by clause 2
+                return []
+            pending = set(state.pending.get(key, ()))
+            if got in pending and got != state.durable.get(key):
+                survived.append(key)
+        if survived and len(survived) != len(unique):
+            return [Violation(
+                "torn-group",
+                detail=f"{len(survived)}/{len(unique)} keys of one merged "
+                       f"group survived (e.g. {survived[:2]!r}) — group "
+                       f"commit must be all-or-nothing", **label)]
+        return []
 
     # -- clause 3: MANIFEST soundness -----------------------------------
 

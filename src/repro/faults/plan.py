@@ -31,6 +31,7 @@ __all__ = [
     "SITE_FDATABARRIER",
     "SITE_HOLE_PUNCH",
     "SITE_WAL_APPEND",
+    "SITE_WAL_GROUP_APPEND",
     "SITE_TABLE_SEALED",
     "SITE_MANIFEST_APPEND",
     "SITE_MANIFEST_COMMIT",
@@ -53,6 +54,11 @@ SITE_FDATABARRIER = "fs.fdatabarrier"
 SITE_HOLE_PUNCH = "fs.hole_punch"
 #: A WAL record was appended but not yet synced (mid-WAL-append).
 SITE_WAL_APPEND = "wal.append"
+#: A *merged* group-commit record (two or more writers' batches behind
+#: one barrier) was appended but not yet synced.  The checker asserts
+#: the group is all-or-nothing: a crash here may lose every key in the
+#: group or none, but never a strict subset (the record shares one CRC).
+SITE_WAL_GROUP_APPEND = "wal.group_append"
 #: A compaction output table's bytes are complete but the output set is
 #: not sealed (mid-compaction, between LSST cuts).
 SITE_TABLE_SEALED = "compaction.table_sealed"
@@ -68,8 +74,8 @@ SITE_TIMER = "timer"
 
 ALL_SITES: Tuple[str, ...] = (
     SITE_BARRIER, SITE_FDATABARRIER, SITE_HOLE_PUNCH, SITE_WAL_APPEND,
-    SITE_TABLE_SEALED, SITE_MANIFEST_APPEND, SITE_MANIFEST_COMMIT,
-    SITE_CURRENT_RENAME, SITE_TIMER,
+    SITE_WAL_GROUP_APPEND, SITE_TABLE_SEALED, SITE_MANIFEST_APPEND,
+    SITE_MANIFEST_COMMIT, SITE_CURRENT_RENAME, SITE_TIMER,
 )
 
 

@@ -42,6 +42,14 @@ class SweepConfig:
     seed: int = 7
     #: Every n-th operation is a delete (0 disables deletes).
     delete_every: int = 7
+    #: Concurrent writers per group-commit round appended after the
+    #: sequential workload (0 disables the rounds).  Writers issued in
+    #: the same round merge into one WAL record, hitting the
+    #: ``wal.group_append`` crash site the checker's torn-group clause
+    #: consumes.
+    group_writers: int = 4
+    #: Number of concurrent group-commit rounds.
+    group_rounds: int = 8
     plan: FaultPlan = field(default_factory=FaultPlan)
 
 
@@ -139,6 +147,26 @@ def sweep_engine(engine_key: str, config: SweepConfig) -> EngineSweepResult:
             oracle.begin(key, value)
             db.put_sync(key, value)
             oracle.acked(key, value)
+    # Concurrent group-commit rounds: each round spawns several writer
+    # processes in the same instant so the commit leader merges them
+    # into one WAL record, exercising the wal.group_append crash site
+    # (the torn-group atomicity clause needs real merged groups).
+    def _group_put(key: bytes, value: bytes):
+        """One concurrent writer: put then ack the oracle on return."""
+        yield from db.put(key, value)
+        oracle.acked(key, value)
+
+    for round_index in range(config.group_rounds):
+        procs = []
+        for w in range(config.group_writers):
+            key = b"group%03d-%02d" % (round_index, w)
+            value = b"g%03d-" % round_index + b"y" * config.value_size
+            oracle.begin(key, value)
+            procs.append(env.process(_group_put(key, value),
+                                     name=f"group-{round_index}-{w}"))
+        if procs:
+            env.run_until(env.all_of(procs))
+
     env.run_until(env.process(db.flush_all()))
     db.close_sync()
     injector.disarm()

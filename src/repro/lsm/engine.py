@@ -15,8 +15,10 @@ formats and cleanup, all through narrow hook methods.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, Iterable, List, Optional, Set, Tuple
+from itertools import islice
+from typing import Any, Deque, Dict, Generator, Iterable, List, Optional, Set, Tuple
 
 from ..health import ErrorManager, ReadOnlyError, Scrubber
 from ..sim import Condition, CpuMeter, Environment, Event, Interrupt, Resource
@@ -52,6 +54,18 @@ class EngineStats:
     #: Time writers spent fully blocked (imm wait / L0Stop).
     stall_time: float = 0.0
     stall_events: int = 0
+    #: Group commit: WAL records written by a commit leader (== WAL
+    #: record count) and the writes they carried; grouped_writes /
+    #: group_commits is the mean group size.
+    group_commits: int = 0
+    grouped_writes: int = 0
+    #: fdatasync barriers avoided by riding a leader's barrier
+    #: (group_size - 1 per synced group; 0 unless ``wal_sync``).
+    barriers_saved: int = 0
+    #: Total time write() calls spent blocked before their batch was
+    #: applied: writer-queue wait for followers, mutex + governor
+    #: stalls for leaders.  The queue/stall share of write latency.
+    write_wait_time: float = 0.0
     memtable_flushes: int = 0
     compactions: int = 0
     seek_compactions: int = 0
@@ -116,6 +130,24 @@ class Snapshot:
 
     def __exit__(self, *exc_info) -> None:
         self.release()
+
+
+class _Writer:
+    """One queued :meth:`LSMEngine.write` call (LevelDB's ``Writer``).
+
+    The front of the writer queue is the *commit leader*; everyone else
+    parks on ``event`` until the leader either commits their batch for
+    them (``done`` set, ``exc`` carrying any group-wide failure) or
+    retires and promotes them to leader (``done`` still False).
+    """
+
+    __slots__ = ("batch", "event", "done", "exc")
+
+    def __init__(self, batch: WriteBatch, event: Event):
+        self.batch = batch
+        self.event = event
+        self.done = False
+        self.exc: Optional[BaseException] = None
 
 
 class OutputSink:
@@ -202,6 +234,13 @@ class LSMEngine:
         self._imm_wal_name: Optional[str] = None
 
         self._mutex = Resource(env, 1, name=f"{dbname}-mutex")
+        #: Writer queue for group commit; the front entry is the commit
+        #: leader.  The queue lock guards membership changes only and is
+        #: never held across the db mutex acquire or any I/O — lock
+        #: order is writer-queue -> db-mutex, watched by lockdep.
+        self._write_queue: Deque[_Writer] = deque()
+        self._write_queue_lock = Resource(env, 1,
+                                          name=f"{dbname}-write-queue")
         self._bg_work = Condition(env, name=f"{dbname}-bg-work")
         self._bg_done = Condition(env, name=f"{dbname}-bg-done")
         if env.sanitizer.enabled:
@@ -410,68 +449,199 @@ class LSMEngine:
     # write path
     # ------------------------------------------------------------------
 
-    def put(self, key: bytes, value: bytes) -> Generator[Event, Any, None]:
-        """Write ``key -> value`` (coroutine; durability per ``wal_sync``)."""
+    def put(self, key: bytes, value: bytes) -> Generator[Event, Any, float]:
+        """Write ``key -> value`` (coroutine; durability per ``wal_sync``).
+
+        Returns the time the write spent blocked (queue/stall wait).
+        """
         batch = WriteBatch()
         batch.put(key, value)
         self.stats.puts += 1
-        yield from self.write(batch)
+        return (yield from self.write(batch))
 
-    def delete(self, key: bytes) -> Generator[Event, Any, None]:
-        """Write a deletion tombstone for ``key`` (coroutine)."""
+    def delete(self, key: bytes) -> Generator[Event, Any, float]:
+        """Write a deletion tombstone for ``key`` (coroutine).
+
+        Returns the time the write spent blocked (queue/stall wait).
+        """
         batch = WriteBatch()
         batch.delete(key)
         self.stats.deletes += 1
-        yield from self.write(batch)
+        return (yield from self.write(batch))
 
-    def write(self, batch: WriteBatch) -> Generator[Event, Any, None]:
-        """Apply a write batch: WAL append + MemTable insert, under the
-        writer mutex, stalling per the §2.3 governors when needed."""
+    def write(self, batch: WriteBatch) -> Generator[Event, Any, float]:
+        """Apply a write batch via the group-commit writer queue.
+
+        LevelDB's design: every write enqueues; the front entry is the
+        *commit leader*, which makes room, merges the queued batches up
+        to ``options.write_group_bytes`` into one WAL record, pays one
+        ``fdatasync`` barrier for the whole group (when ``wal_sync``),
+        applies every batch to the MemTable and wakes the followers.
+        Concurrent writers therefore pay 1/group-size barriers each —
+        the serving-path twin of BoLT's one-barrier compaction file.
+
+        Returns the time this call spent blocked before its batch was
+        applied: queue wait for followers, mutex wait + §2.3 governor
+        stalls for leaders.  A solitary writer is always a leader with
+        a group of one, taking exactly the pre-group-commit path.
+        """
         if not len(batch):
-            return
+            return 0.0
         if self.health.read_only:
             raise ReadOnlyError(
                 f"{self.dbname} is read-only: {self.health.reason}")
         meter = self._meter()
         meter.charge(meter.model.write_mutex_overhead)
+        writer = _Writer(batch, self.env.event())
+        yield self._write_queue_lock.acquire()
+        try:
+            self._write_queue.append(writer)
+            is_leader = self._write_queue[0] is writer
+        finally:
+            self._write_queue_lock.release()
+        enqueued = self.env.now
+        if not is_leader:
+            # Park until a leader commits this batch or promotes us.
+            yield writer.event
+            if writer.done:
+                waited = self.env.now - enqueued
+                self.stats.write_wait_time += waited
+                if writer.exc is not None:
+                    raise writer.exc
+                yield from meter.drain()
+                return waited
+        return (yield from self._lead_group(writer, meter, enqueued))
+
+    def _lead_group(self, leader: _Writer, meter: CpuMeter,
+                    enqueued: float) -> Generator[Event, Any, float]:
+        """Commit leader path: one WAL record + one barrier per group.
+
+        Any failure while leading is propagated to every member of the
+        group; queue retirement and promotion of the next leader run
+        unconditionally (after the db mutex is dropped, so the writer-
+        queue lock is never taken under it), so a failing leader can
+        never strand the queue.
+        """
         yield self._mutex.acquire()
+        group = [leader]
+        failure: Optional[BaseException] = None
+        waited = 0.0
         try:
             yield from self._make_room(meter)
-            prev_seq = self.versions.last_sequence
-            first_seq = prev_seq + 1
-            self.versions.last_sequence += len(batch)
+            waited = self.env.now - enqueued
+            group = self._form_group(leader)
+            yield from self._commit_group(group, meter)
+        except BaseException as exc:  # noqa: BLE001 - delivered to the group
+            failure = exc
+        finally:
+            self._mutex.release()
+        self.stats.write_wait_time += waited
+        yield self._write_queue_lock.acquire()
+        try:
+            for _ in group:
+                self._write_queue.popleft()
+            promoted = self._write_queue[0] if self._write_queue else None
+        finally:
+            self._write_queue_lock.release()
+        for member in group:
+            if member is not leader:
+                member.done = True
+                member.exc = failure
+                member.event.succeed()
+        if promoted is not None:
+            promoted.event.succeed()
+        if failure is not None:
+            raise failure
+        return waited
+
+    def _form_group(self, leader: _Writer) -> List[_Writer]:
+        """The queue prefix committing together, capped by byte budget.
+
+        Reads the queue without its lock: membership only changes at
+        scheduling points, and only this leader may pop the prefix.
+        """
+        budget = self.options.write_group_bytes
+        group = [leader]
+        total = leader.batch.byte_size
+        for waiter in islice(self._write_queue, 1, None):
+            size = waiter.batch.byte_size
+            if total + size > budget:
+                break
+            group.append(waiter)
+            total += size
+        return group
+
+    def _commit_group(self, group: List[_Writer], meter: CpuMeter
+                      ) -> Generator[Event, Any, None]:
+        """Append one combined WAL record, sync once, fill the MemTable.
+
+        Called with the db mutex held, after :meth:`_make_room`.  For a
+        group of one this is byte-for-byte the single-writer WAL record
+        and the same event sequence, so solitary writers are unaffected.
+        """
+        prev_seq = self.versions.last_sequence
+        first_seq = prev_seq + 1
+        num_ops = sum(len(w.batch) for w in group)
+        self.versions.last_sequence = prev_seq + num_ops
+        if len(group) == 1:
+            merged = group[0].batch
+        else:
+            merged = WriteBatch()
+            for member in group:
+                merged.extend(member.batch)
+        span_ctx = self.env.tracer.span("svc.group_commit", cat="svc",
+                                        group_size=len(group))
+        with span_ctx as span:
             try:
-                self._wal_writer.append(batch.encode(first_seq), meter)
+                self._wal_writer.append(merged.encode(first_seq), meter)
             except DiskFullError as exc:
                 # All-or-nothing: the WAL frame was never buffered, so
-                # nothing of this batch exists anywhere.  Un-claim the
+                # nothing of this group exists anywhere.  Un-claim the
                 # sequence numbers and degrade to read-only.
                 self.versions.last_sequence = prev_seq
                 self.health.report("wal", exc)
                 raise ReadOnlyError(
                     f"{self.dbname}: WAL append hit disk full") from exc
             # Crash site: the record is in the page cache but (if
-            # wal_sync) not yet acknowledged-durable.
+            # wal_sync) not yet acknowledged-durable.  A multi-writer
+            # record additionally announces the torn-group site.
             self.fs.fault_site("wal.append",
                                wal=self._wal_name(self._wal_number))
+            if len(group) > 1 and self.fs.faults is not None:
+                self.fs.fault_site(
+                    "wal.group_append",
+                    wal=self._wal_name(self._wal_number),
+                    group_size=len(group), first_seq=first_seq,
+                    keys=tuple(key for _t, key, _v in merged.ops))
+            saved = 0
             if self.options.wal_sync:
                 try:
                     yield from self._wal_handle.fdatasync()
                 except DeviceError as exc:
-                    # The write is rejected (caller sees the error) and
-                    # the record's durability is indeterminate — exactly
-                    # a crash-window write, which the recovery contract
-                    # already permits either way.
+                    # The whole group is rejected (each caller sees the
+                    # error) and the record's durability is
+                    # indeterminate — exactly a crash-window write,
+                    # which the recovery contract permits either way.
                     self.health.report("wal", exc)
                     raise
-            seq = first_seq
-            for value_type, key, value in batch.ops:
+                saved = len(group) - 1
+                self.stats.barriers_saved += saved
+            span.set(barriers_saved=saved)
+        seq = first_seq
+        for member in group:
+            for value_type, key, value in member.batch.ops:
                 self._memtable.add(seq, value_type, key, value)
                 meter.charge(meter.model.memtable_insert)
                 seq += 1
-            yield from meter.drain()
-        finally:
-            self._mutex.release()
+        self.stats.group_commits += 1
+        self.stats.grouped_writes += len(group)
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.count("svc.group_commits")
+            tracer.count("svc.grouped_writes", len(group))
+            if saved:
+                tracer.count("svc.barriers_saved", saved)
+        yield from meter.drain()
 
     def _make_room(self, meter: CpuMeter) -> Generator[Event, Any, None]:
         """LevelDB's MakeRoomForWrite: sleep/stall/rotate as required.

@@ -49,6 +49,7 @@ _SCALED_FIELDS = (
     "level1_max_bytes",
     "group_compaction_bytes",
     "block_cache_bytes",
+    "write_group_bytes",
 )
 
 
@@ -93,6 +94,11 @@ class Options:
     # -- write-ahead log ------------------------------------------------------
     #: Sync the WAL on every write (YCSB-style runs leave this off).
     wal_sync: bool = False
+    #: Group-commit byte budget: how many queued writers' batches the
+    #: commit leader may merge into one WAL record (LevelDB's max
+    #: write-batch group size).  The leader always commits its own
+    #: batch, so 0 disables merging without disabling the queue.
+    write_group_bytes: int = 1 * MB
     #: Run on BarrierFS (paper §5): compaction outputs are made *ordered*
     #: with cheap fdatabarrier() calls instead of per-file fsync(); the
     #: MANIFEST commit remains a real fsync (the durability point), whose
@@ -160,6 +166,8 @@ class Options:
             # which requires the compaction trigger to fire first.
             raise ValueError(
                 "l0_stop_trigger must be >= l0_compaction_trigger")
+        if self.write_group_bytes < 0:
+            raise ValueError("write_group_bytes must be >= 0")
         if self.max_levels < 2:
             raise ValueError("need at least two levels")
         if self.level_size_multiplier < 2:

@@ -53,6 +53,16 @@ class WriteBatch:
         """Buffer a deletion tombstone for ``key``."""
         self.ops.append((VALUE_TYPE_DELETION, key, b""))
 
+    def extend(self, other: "WriteBatch") -> None:
+        """Append ``other``'s operations (group commit's record merge).
+
+        Merging batches and encoding once is byte-identical to encoding
+        the concatenated op list: sequence numbers are implicit (first
+        op takes ``first_sequence``, later ops count up), so a merged
+        group commits atomically under this record's single CRC.
+        """
+        self.ops.extend(other.ops)
+
     def __len__(self) -> int:
         return len(self.ops)
 

@@ -1,0 +1,61 @@
+"""Simulated serving front end: workers, admission control, load gen.
+
+This package layers a request-serving system over any of the simulated
+LSM engines, growing the reproduction toward the ROADMAP's north star
+(production-scale serving):
+
+* :class:`~repro.svc.server.Server` — N worker slots draining a bounded
+  admission queue, with an explicit backpressure policy (reject vs.
+  block), write shedding driven by the engine's L0-stall governors, and
+  :mod:`repro.health` degraded modes surfaced as *typed per-request
+  outcomes* instead of wedged clients.
+* :mod:`~repro.svc.loadgen` — seeded open-loop arrival processes
+  (Poisson and bursty on/off) over the YCSB operation mix, measuring
+  **intended-start → completion** latency so queueing delay is charged
+  to the system, not silently absorbed by a coordinated-omission
+  closed loop (docs/SERVING.md).
+
+The WAL group commit the server leans on lives in the engine itself
+(:meth:`repro.lsm.engine.LSMEngine.write`): concurrent writers merge
+into one WAL record behind a single ``fdatasync`` barrier.
+"""
+
+from .loadgen import (
+    BurstyArrivals,
+    ClientResult,
+    LoadgenReport,
+    OpenLoopClient,
+    PoissonArrivals,
+    run_open_loop,
+)
+from .server import (
+    POLICY_BLOCK,
+    POLICY_REJECT,
+    Request,
+    RequestOutcome,
+    Server,
+    ServerStats,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_READ_ONLY,
+    STATUS_REJECTED,
+)
+
+__all__ = [
+    "Server",
+    "ServerStats",
+    "Request",
+    "RequestOutcome",
+    "POLICY_REJECT",
+    "POLICY_BLOCK",
+    "STATUS_OK",
+    "STATUS_REJECTED",
+    "STATUS_READ_ONLY",
+    "STATUS_ERROR",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "OpenLoopClient",
+    "ClientResult",
+    "LoadgenReport",
+    "run_open_loop",
+]

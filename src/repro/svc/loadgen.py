@@ -1,0 +1,257 @@
+"""Open-loop load generation with coordinated-omission-correct latency.
+
+A closed-loop client (``repro.ycsb.client``) waits for each operation
+before issuing the next, so a server stall silently *slows the arrival
+process down* and the stall never shows up in the latency distribution
+— Tene's "coordinated omission".  The clients here are **open loop**:
+each one draws an absolute arrival schedule from a seeded inter-arrival
+process (Poisson or bursty on/off) *before* looking at the server, and
+every operation's latency is measured from its **intended start** on
+that schedule to its completion.  When the server falls behind, the
+backlog is charged to the tail percentiles instead of vanishing.
+
+Everything is deterministic: arrival draws come from per-client
+``random.Random`` instances derived from one seed, and operation
+streams come from seeded :class:`~repro.ycsb.workload.WorkloadRunner`\\s
+sharing one :class:`~repro.ycsb.distributions.InsertCounter`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Sequence
+
+from ..bench.histogram import LatencyHistogram
+from ..sim import Environment, Event
+from ..ycsb.distributions import InsertCounter
+from ..ycsb.workload import Operation, WorkloadRunner, WorkloadSpec
+from .server import (
+    Request,
+    RequestOutcome,
+    Server,
+    STATUS_ERROR,
+    STATUS_READ_ONLY,
+    STATUS_REJECTED,
+)
+
+__all__ = [
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "OpenLoopClient",
+    "ClientResult",
+    "LoadgenReport",
+    "run_open_loop",
+]
+
+
+class PoissonArrivals:
+    """Exponential inter-arrival times at ``rate`` requests/second."""
+
+    def __init__(self, rate: float, rng: random.Random):
+        if rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        self.rate = rate
+        self.rng = rng
+
+    def next_interval(self) -> float:
+        """Draw the gap (seconds) until the next intended arrival."""
+        return self.rng.expovariate(self.rate)
+
+
+class BurstyArrivals:
+    """Poisson arrivals gated by a deterministic on/off duty cycle.
+
+    Arrivals are a rate-``rate`` Poisson process on an "on-clock" that
+    only advances during ``burst_seconds``-long on-windows, each
+    followed by ``idle_seconds`` of silence.  Mapping the on-clock to
+    wall time keeps the process a pure function of the RNG stream, so a
+    seeded run is exactly repeatable while still hammering the server
+    with bursts that overflow the admission queue.
+    """
+
+    def __init__(self, rate: float, rng: random.Random,
+                 burst_seconds: float = 0.01, idle_seconds: float = 0.04):
+        if rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        if burst_seconds <= 0 or idle_seconds < 0:
+            raise ValueError("burst_seconds must be > 0, idle_seconds >= 0")
+        self.rate = rate
+        self.rng = rng
+        self.burst_seconds = burst_seconds
+        self.idle_seconds = idle_seconds
+        self._on_clock = 0.0
+        self._last_wall = 0.0
+
+    def next_interval(self) -> float:
+        """Draw the wall-clock gap until the next intended arrival."""
+        self._on_clock += self.rng.expovariate(self.rate)
+        cycles = int(self._on_clock // self.burst_seconds)
+        wall = (cycles * (self.burst_seconds + self.idle_seconds)
+                + (self._on_clock - cycles * self.burst_seconds))
+        interval = wall - self._last_wall
+        self._last_wall = wall
+        return interval
+
+
+@dataclass
+class ClientResult:
+    """Outcome tallies and latency shards for one open-loop client."""
+
+    client_id: int
+    submitted: int = 0
+    ok: int = 0
+    rejected: int = 0
+    read_only: int = 0
+    errors: int = 0
+    #: Intended-start → completion latency of successful operations.
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    #: Intended-start → worker-pickup delay of successful operations.
+    queue_delay: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    def observe(self, outcome: RequestOutcome) -> None:
+        """Fold one completed request into the tallies."""
+        self.submitted += 1
+        if outcome.ok:
+            self.ok += 1
+            self.latency.record(outcome.latency)
+            self.queue_delay.record(max(0.0, outcome.queue_delay))
+        elif outcome.status == STATUS_REJECTED:
+            self.rejected += 1
+        elif outcome.status == STATUS_READ_ONLY:
+            self.read_only += 1
+        elif outcome.status == STATUS_ERROR:
+            self.errors += 1
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary row: counts plus p50/p99/p999 in seconds."""
+        return {
+            "client": self.client_id,
+            "submitted": self.submitted,
+            "ok": self.ok,
+            "rejected": self.rejected,
+            "read_only": self.read_only,
+            "errors": self.errors,
+            "p50": self.latency.percentile(50),
+            "p99": self.latency.percentile(99),
+            "p999": self.latency.percentile(99.9),
+        }
+
+
+class OpenLoopClient:
+    """Issues a fixed operation list on an open-loop arrival schedule.
+
+    The intended start of operation *i* is the running sum of the first
+    *i* inter-arrival draws — fixed up front, independent of how the
+    server behaves.  If the submitter itself falls behind (the server
+    exerted ``POLICY_BLOCK`` backpressure), later requests are submitted
+    late but keep their *scheduled* intended start, so their measured
+    latency includes the time they should already have been running.
+    """
+
+    def __init__(self, env: Environment, server: Server,
+                 operations: Sequence[Operation], arrivals: Any,
+                 client_id: int = 0):
+        self.env = env
+        self.server = server
+        self.operations = operations
+        self.arrivals = arrivals
+        self.client_id = client_id
+        self.result = ClientResult(client_id=client_id)
+
+    def run(self) -> Generator[Event, Any, ClientResult]:
+        """Submit every operation, await all completions, tally results."""
+        env = self.env
+        pending: List[Event] = []
+        t = env.now
+        for kind, key, payload in self.operations:
+            t += self.arrivals.next_interval()
+            if env.now < t:
+                yield env.timeout(t - env.now)
+            request = Request(kind=kind, key=key, payload=payload,
+                              client_id=self.client_id, intended_start=t)
+            done = yield from self.server.submit(request)
+            pending.append(done)
+        outcomes = yield env.all_of(pending)
+        for outcome in outcomes:
+            self.result.observe(outcome)
+        return self.result
+
+
+@dataclass
+class LoadgenReport:
+    """Per-client results plus the merged latency distribution."""
+
+    clients: List[ClientResult]
+
+    @property
+    def merged_latency(self) -> LatencyHistogram:
+        """All clients' success latencies folded into one histogram."""
+        merged = LatencyHistogram()
+        for client in self.clients:
+            merged.merge(client.latency)
+        return merged
+
+    def summary_rows(self) -> List[Dict[str, float]]:
+        """One flat summary dict per client, in client-id order."""
+        return [client.summary() for client in self.clients]
+
+    def totals(self) -> Dict[str, float]:
+        """Aggregate counts and merged percentiles across all clients."""
+        merged = self.merged_latency
+        return {
+            "clients": len(self.clients),
+            "submitted": sum(c.submitted for c in self.clients),
+            "ok": sum(c.ok for c in self.clients),
+            "rejected": sum(c.rejected for c in self.clients),
+            "read_only": sum(c.read_only for c in self.clients),
+            "errors": sum(c.errors for c in self.clients),
+            "p50": merged.percentile(50),
+            "p99": merged.percentile(99),
+            "p999": merged.percentile(99.9),
+        }
+
+
+def _make_arrivals(arrival: str, rate: float, rng: random.Random,
+                   burst_seconds: float, idle_seconds: float) -> Any:
+    """Build one client's arrival process from its name."""
+    if arrival == "poisson":
+        return PoissonArrivals(rate, rng)
+    if arrival == "bursty":
+        return BurstyArrivals(rate, rng, burst_seconds=burst_seconds,
+                              idle_seconds=idle_seconds)
+    raise ValueError(f"unknown arrival process {arrival!r}")
+
+
+def run_open_loop(env: Environment, server: Server, spec: WorkloadSpec,
+                  num_clients: int = 2, requests_per_client: int = 100,
+                  rate: float = 2000.0, record_count: int = 1000,
+                  value_size: int = 100, seed: int = 7,
+                  arrival: str = "poisson", burst_seconds: float = 0.01,
+                  idle_seconds: float = 0.04) -> LoadgenReport:
+    """Drive ``num_clients`` open-loop clients to completion.
+
+    Each client gets a :class:`~repro.ycsb.workload.WorkloadRunner`
+    seeded at ``seed + 1000*i + 17`` (all sharing one insert counter, so
+    concurrent inserts never collide) and an arrival RNG seeded at
+    ``seed*10007 + i``.  Runs the simulation until every client's last
+    completion resolves; the server is left running (callers close it).
+    """
+    if num_clients < 1:
+        raise ValueError("num_clients must be >= 1")
+    counter = InsertCounter(record_count)
+    clients = []
+    for i in range(num_clients):
+        runner = WorkloadRunner(spec, record_count, value_size=value_size,
+                                seed=seed + 1000 * i + 17,
+                                insert_counter=counter)
+        operations = list(runner.operations(requests_per_client))
+        arrivals = _make_arrivals(arrival, rate,
+                                  random.Random(seed * 10007 + i),
+                                  burst_seconds, idle_seconds)
+        clients.append(OpenLoopClient(env, server, operations, arrivals,
+                                      client_id=i))
+    procs = [env.process(client.run(), name=f"loadgen-{client.client_id}")
+             for client in clients]
+    env.run_until(env.all_of(procs))
+    return LoadgenReport(clients=[client.result for client in clients])

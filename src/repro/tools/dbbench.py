@@ -78,6 +78,36 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--disk-full-at", type=float, default=0.5,
                         help="fraction of the --chaos run at which the disk "
                              "fills (0 disables the episode; default 0.5)")
+    parser.add_argument("--server", action="store_true",
+                        help="instead of the closed-loop benchmarks, run the "
+                             "repro.svc serving layer: preload --num records, "
+                             "then drive --clients open-loop clients at "
+                             "--arrival-rate over --workload, printing "
+                             "per-client p50/p99/p999 and the group-commit "
+                             "counters")
+    parser.add_argument("--clients", type=int, default=2,
+                        help="open-loop clients for --server (default 2)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="server worker slots for --server (default 4)")
+    parser.add_argument("--arrival-rate", type=float, default=2000.0,
+                        help="per-client intended arrivals/sec (default 2000)")
+    parser.add_argument("--arrival", default="poisson",
+                        choices=("poisson", "bursty"),
+                        help="arrival process for --server (default poisson)")
+    parser.add_argument("--burst", type=float, default=0.01,
+                        help="bursty mode: on-window seconds (default 0.01)")
+    parser.add_argument("--idle", type=float, default=0.04,
+                        help="bursty mode: off-window seconds (default 0.04)")
+    parser.add_argument("--queue-depth", type=int, default=64,
+                        help="server admission queue depth (default 64)")
+    parser.add_argument("--admission", default="reject",
+                        choices=("reject", "block"),
+                        help="queue-full policy for --server (default reject)")
+    parser.add_argument("--workload", default="a",
+                        help="YCSB workload for --server (default a)")
+    parser.add_argument("--no-wal-sync", action="store_true",
+                        help="--server: skip the per-group WAL barrier "
+                             "(records still merge)")
     return parser
 
 
@@ -120,6 +150,92 @@ def run_crash_sweep(args: argparse.Namespace, out=print) -> List[dict]:
     return rows
 
 
+def run_server_bench(args: argparse.Namespace, out=print) -> List[dict]:
+    """Handle ``--server``: open-loop clients against the serving layer.
+
+    Preloads ``--num`` records, then splits ``--num`` requests of the
+    chosen workload across ``--clients`` open-loop clients.  Output is a
+    pure function of the arguments (virtual clock + seeded RNGs), so CI
+    can diff two runs byte-for-byte.
+    """
+    from ..svc import Server
+    from ..svc.loadgen import run_open_loop
+    from ..ycsb.distributions import build_key
+    from ..ycsb.workload import WORKLOADS
+    spec = WORKLOADS.get(args.workload)
+    if spec is None or spec.is_load:
+        raise SystemExit(f"unknown --workload {args.workload!r} "
+                         f"(choose a run phase: a, b, c, d, e, f)")
+    config = BenchConfig(scale=args.scale, record_count=args.num,
+                         value_size=args.value_size, seed=args.seed)
+    sanitize = getattr(args, "sanitize", False)
+    stack = new_stack(config, sanitize=sanitize)
+    system = SYSTEMS[args.engine]
+    options = system.options(config.scale).copy(
+        wal_sync=not args.no_wal_sync)
+    db = system.engine_cls.open_sync(stack.env, stack.fs, options, "db")
+    value = b"p" * args.value_size
+    for i in range(args.num):
+        db.put_sync(build_key(i), value)
+    server = Server(stack.env, db, num_workers=args.workers,
+                    queue_depth=args.queue_depth, policy=args.admission)
+    per_client = max(1, args.num // args.clients)
+    out(f"server: engine {system.label}, workload {args.workload}, "
+        f"{args.clients} clients x {per_client} requests, "
+        f"{args.arrival} arrivals at {args.arrival_rate:g}/s/client, "
+        f"{args.workers} workers, queue {args.queue_depth} "
+        f"({args.admission}), wal_sync={not args.no_wal_sync}")
+    report = run_open_loop(
+        stack.env, server, spec, num_clients=args.clients,
+        requests_per_client=per_client, rate=args.arrival_rate,
+        record_count=args.num, value_size=args.value_size, seed=args.seed,
+        arrival=args.arrival, burst_seconds=args.burst,
+        idle_seconds=args.idle)
+    server.close_sync()
+    rows: List[dict] = []
+    for summary in report.summary_rows():
+        row = {
+            "benchmark": "server",
+            "client": summary["client"],
+            "requests": summary["submitted"],
+            "ok": summary["ok"],
+            "rejected": summary["rejected"],
+            "read_only": summary["read_only"],
+            "p50_ms": round(summary["p50"] * 1e3, 4),
+            "p99_ms": round(summary["p99"] * 1e3, 4),
+            "p999_ms": round(summary["p999"] * 1e3, 4),
+        }
+        rows.append(row)
+        out(f"client {row['client']}: {row['requests']:5d} requests, "
+            f"{row['ok']:5d} ok, {row['rejected']:4d} rejected, "
+            f"{row['read_only']:3d} read-only; p50 {row['p50_ms']} ms, "
+            f"p99 {row['p99_ms']} ms, p999 {row['p999_ms']} ms")
+    totals = report.totals()
+    stats = db.stats
+    out(f"totals: {totals['ok']}/{totals['submitted']} ok; merged "
+        f"p99 {round(totals['p99'] * 1e3, 4)} ms, "
+        f"p999 {round(totals['p999'] * 1e3, 4)} ms")
+    out(f"group_commits: {stats.group_commits}  "
+        f"grouped_writes: {stats.grouped_writes}")
+    out(f"barriers_saved: {stats.barriers_saved}")
+    out(f"peak queue depth: {server.stats.peak_queue_depth}  "
+        f"shed writes: {server.stats.shed_writes}")
+    rows.append({"benchmark": "server-totals",
+                 "ok": totals["ok"], "submitted": totals["submitted"],
+                 "group_commits": stats.group_commits,
+                 "grouped_writes": stats.grouped_writes,
+                 "barriers_saved": stats.barriers_saved})
+    db.close_sync()
+    if sanitize:
+        reports = stack.env.sanitizer.reports
+        if reports:
+            for report in reports:
+                out(f"sanitizer: {report.render()}")
+            raise SystemExit(1)
+        out("sanitizer: clean (no lock-order cycles, no data races)")
+    return rows
+
+
 def run_benchmarks(args: argparse.Namespace,
                    out=print) -> List[dict]:
     """Run the requested benchmark list; returns one row per benchmark."""
@@ -127,6 +243,8 @@ def run_benchmarks(args: argparse.Namespace,
         return run_crash_sweep(args, out)
     if getattr(args, "chaos", False):
         return run_chaos(args, out)
+    if getattr(args, "server", False):
+        return run_server_bench(args, out)
     config = BenchConfig(scale=args.scale, record_count=args.num,
                          value_size=args.value_size, seed=args.seed)
     trace_path = getattr(args, "trace", None)

@@ -1,0 +1,287 @@
+"""WAL group-commit semantics: merged records, one barrier per group,
+contiguous sequences, visibility ordering, and all-or-nothing crashes."""
+
+import pytest
+
+from repro.faults import (
+    SITE_WAL_GROUP_APPEND,
+    CrashChecker,
+    CrashInjector,
+    DurabilityOracle,
+    FaultModel,
+    FaultPlan,
+)
+from repro.health import ReadOnlyError
+from repro.lsm import LSMEngine, Options, WriteBatch, read_log_records
+from repro.sim import Environment
+from repro.storage import BlockDevice, PageCache, SimFS
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+def big_options(**overrides):
+    # A memtable far larger than the test workload, so flush/compaction
+    # barriers never pollute the WAL barrier counts under test.
+    base = dict(memtable_size=4 * MB, sstable_size=1 * MB,
+                level1_max_bytes=4 * MB, wal_sync=True)
+    base.update(overrides)
+    return Options(**base)
+
+
+def fresh_db(options=None):
+    env = Environment()
+    fs = SimFS(env, BlockDevice(env), PageCache(16 << 20))
+    db = LSMEngine.open_sync(env, fs, options or big_options(), "db")
+    return env, fs, db
+
+
+def concurrent_puts(env, db, pairs, record_completion=None):
+    """Spawn one put process per (key, value) pair in the same instant."""
+    def one(key, value):
+        waited = yield from db.put(key, value)
+        if record_completion is not None:
+            record_completion(key, env.now, waited)
+
+    procs = [env.process(one(k, v), name=f"w-{i}")
+             for i, (k, v) in enumerate(pairs)]
+    env.run_until(env.all_of(procs))
+
+
+def wal_batches(fs, db):
+    """Decode every committed WAL record as (first_seq, op_count)."""
+    name = db._wal_name(db._wal_number)
+    data = bytes(fs._files[name].data)
+    out = []
+    for payload in read_log_records(data):
+        first_seq, batch = WriteBatch.decode(payload)
+        out.append((first_seq, len(batch.ops)))
+    return out
+
+
+class TestGroupMerging:
+    def test_concurrent_writers_share_barriers(self):
+        env, fs, db = fresh_db()
+        before = fs.stats.num_barrier_calls
+        pairs = [(b"k%02d" % i, b"v" * 64) for i in range(8)]
+        concurrent_puts(env, db, pairs)
+        barriers = fs.stats.num_barrier_calls - before
+        assert db.stats.grouped_writes == 8
+        assert barriers == db.stats.group_commits < 8
+        assert db.stats.barriers_saved == 8 - db.stats.group_commits > 0
+        for key, value in pairs:
+            assert db.get_sync(key) == value
+
+    def test_followers_of_one_group_wake_at_the_same_instant(self):
+        env, _fs, db = fresh_db()
+        completions = {}
+        pairs = [(b"k%02d" % i, b"v" * 64) for i in range(8)]
+        t0 = env.now
+        concurrent_puts(env, db, pairs,
+                        lambda key, t, w: completions.setdefault(key, (t, w)))
+        # A follower's wake instant is its enqueue time plus its reported
+        # wait — the instant its group's leader finished the barrier, so
+        # followers of the same group share it.  Leaders wake earlier
+        # (post-stall, pre-commit), so the distinct wake instants are
+        # one per leader plus one per group that merged followers.
+        wakes = sorted(set(round(t0 + waited, 12)
+                           for _t, waited in completions.values()))
+        groups = db.stats.group_commits
+        assert groups < 8 <= db.stats.grouped_writes
+        assert groups <= len(wakes) <= 2 * groups
+
+    def test_wal_sync_off_merges_without_barriers(self):
+        env, fs, db = fresh_db(big_options(wal_sync=False))
+        before = fs.stats.num_barrier_calls
+        concurrent_puts(env, db, [(b"k%02d" % i, b"v" * 64)
+                                  for i in range(8)])
+        assert fs.stats.num_barrier_calls == before
+        assert db.stats.grouped_writes == 8
+        assert db.stats.group_commits < 8  # still merged, just unsynced
+        assert db.stats.barriers_saved == 0
+
+    def test_write_group_bytes_zero_disables_merging(self):
+        env, fs, db = fresh_db(big_options(write_group_bytes=0))
+        before = fs.stats.num_barrier_calls
+        concurrent_puts(env, db, [(b"k%02d" % i, b"v" * 64)
+                                  for i in range(6)])
+        assert db.stats.group_commits == 6
+        assert db.stats.grouped_writes == 6
+        assert db.stats.barriers_saved == 0
+        assert fs.stats.num_barrier_calls - before == 6
+
+    def test_byte_budget_caps_group_size(self):
+        # Each batch is ~96 bytes; a 150-byte budget fits the leader
+        # plus at most one follower.
+        env, _fs, db = fresh_db(big_options(write_group_bytes=150))
+        concurrent_puts(env, db, [(b"k%02d" % i, b"v" * 84)
+                                  for i in range(6)])
+        assert db.stats.grouped_writes == 6
+        assert db.stats.group_commits >= 3
+
+
+class TestSequencing:
+    def test_sequences_contiguous_and_monotone_across_groups(self):
+        env, fs, db = fresh_db()
+        for round_index in range(3):
+            pairs = [(b"r%d-k%02d" % (round_index, i), b"v" * 32)
+                     for i in range(5)]
+            concurrent_puts(env, db, pairs)
+        batches = wal_batches(fs, db)
+        assert sum(count for _s, count in batches) == 15
+        expected = 1
+        for first_seq, count in batches:
+            assert first_seq == expected
+            expected += count
+        assert db.versions.last_sequence == 15
+
+    def test_merged_group_of_one_encodes_like_a_single_batch(self):
+        merged = WriteBatch()
+        merged.put(b"a", b"1")
+        other = WriteBatch()
+        other.put(b"b", b"2")
+        merged.extend(other)
+        flat = WriteBatch()
+        flat.put(b"a", b"1")
+        flat.put(b"b", b"2")
+        assert merged.encode(7) == flat.encode(7)
+
+
+class TestVisibility:
+    def test_write_not_readable_before_its_barrier(self):
+        env, fs, db = fresh_db()
+        seen = {}
+
+        def poll():
+            while True:
+                value = yield from db.get(b"watched")
+                if value is not None:
+                    seen["barriers"] = fs.stats.num_barrier_calls
+                    return
+                yield env.timeout(1e-7)
+
+        before = fs.stats.num_barrier_calls
+        reader = env.process(poll(), name="reader")
+        writer = env.process(db.put(b"watched", b"v" * 64), name="writer")
+        env.run_until(env.all_of([reader, writer]))
+        # The value only became visible after the group's fdatasync
+        # completed: memtable insertion happens strictly after the
+        # barrier on the wal_sync path.
+        assert seen["barriers"] >= before + 1
+
+
+class TestGroupFailure:
+    def test_disk_full_fails_the_whole_group_without_wedging(self):
+        env, fs, db = fresh_db()
+        db.put_sync(b"seed", b"x")
+        fs.set_capacity(fs.total_allocated_bytes())  # no room for anything
+        outcomes = []
+
+        def one(key):
+            try:
+                yield from db.put(key, b"v" * (8 * KB))
+            except ReadOnlyError as exc:
+                outcomes.append((key, repr(exc)))
+
+        procs = [env.process(one(b"f%02d" % i)) for i in range(4)]
+        env.run_until(env.all_of(procs))
+        assert len(outcomes) == 4          # every writer got a typed error
+        assert not db._write_queue         # nobody left stranded
+        assert db.get_sync(b"seed") == b"x"
+
+    def test_sequence_numbers_unclaimed_on_failed_group(self):
+        env, fs, db = fresh_db()
+        db.put_sync(b"seed", b"x")
+        last = db.versions.last_sequence
+        fs.set_capacity(fs.total_allocated_bytes())
+
+        def one(key):
+            with pytest.raises(ReadOnlyError):
+                yield from db.put(key, b"v" * (8 * KB))
+
+        procs = [env.process(one(b"f%02d" % i)) for i in range(3)]
+        env.run_until(env.all_of(procs))
+        assert db.versions.last_sequence == last
+
+
+class TestTornGroupCrash:
+    def _run_with_injector(self, models):
+        options = big_options()
+        env = Environment()
+        fs = SimFS(env, BlockDevice(env), PageCache(16 << 20))
+        oracle = DurabilityOracle()
+        plan = FaultPlan(sites=(SITE_WAL_GROUP_APPEND,), max_images=8,
+                         max_per_site=8, models=models)
+        injector = CrashInjector(fs, plan, oracle)
+        db = LSMEngine.open_sync(env, fs, options, "db")
+
+        def one(key, value):
+            yield from db.put(key, value)
+            oracle.acked(key, value)
+
+        for round_index in range(4):
+            procs = []
+            for i in range(4):
+                key = b"g%d-%02d" % (round_index, i)
+                value = b"val-%d-%02d" % (round_index, i)
+                oracle.begin(key, value)
+                procs.append(env.process(one(key, value)))
+            env.run_until(env.all_of(procs))
+        db.close_sync()
+        injector.disarm()
+        return injector, options
+
+    def test_torn_group_is_all_or_nothing(self):
+        models = (FaultModel("all-lost", 0.0),
+                  FaultModel("subset", 0.5),
+                  FaultModel("torn-tail", 0.5, torn_tail=True))
+        injector, options = self._run_with_injector(models)
+        assert injector.images, "no merged-group crash points captured"
+        for image in injector.images:
+            assert image.site == SITE_WAL_GROUP_APPEND
+            assert image.detail["group_size"] >= 2
+            assert len(image.detail["keys"]) >= 2
+        checker = CrashChecker(LSMEngine, options, "db")
+        violations = []
+        for image in injector.images:
+            for model in models:
+                violations.extend(checker.check_image(image, model, seed=3))
+        assert violations == [], "\n".join(str(v) for v in violations)
+
+    def test_all_lost_crash_drops_the_entire_group(self):
+        models = (FaultModel("all-lost", 0.0),)
+        injector, options = self._run_with_injector(models)
+        image = injector.images[0]
+        env, fs = image.materialize(models[0], rng=None)
+        db = LSMEngine.open_sync(env, fs, options.copy(), "db")
+        state = image.oracle
+        survivors = [key for key in image.detail["keys"]
+                     if db.get_sync(key) in
+                     set(state.pending.get(key, ())) - {None}]
+        assert survivors == []  # the unsynced merged record vanished whole
+
+
+class TestSingleWriterUnchanged:
+    def test_sequential_writes_never_group(self):
+        env, fs, db = fresh_db()
+        before = fs.stats.num_barrier_calls
+        for i in range(10):
+            db.put_sync(b"s%02d" % i, b"v" * 64)
+        assert db.stats.group_commits == 10
+        assert db.stats.grouped_writes == 10
+        assert db.stats.barriers_saved == 0
+        assert fs.stats.num_barrier_calls - before == 10
+
+    def test_two_identical_runs_are_byte_identical(self):
+        def run():
+            env, fs, db = fresh_db()
+            for i in range(50):
+                db.put_sync(b"s%03d" % i, b"v" * 100)
+            name = db._wal_name(db._wal_number)
+            return env.now, bytes(fs._files[name].data), db.stats.snapshot()
+
+        t1, wal1, stats1 = run()
+        t2, wal2, stats2 = run()
+        assert t1 == t2
+        assert wal1 == wal2
+        assert vars(stats1) == vars(stats2)
