@@ -12,7 +12,8 @@ from .harness import (
     run_suite,
 )
 from .metrics import LatencyRecorder, PhaseResult, percentile
-from .report import format_markdown_table, format_table, unified_snapshot
+from .report import (aggregate_engine_stats, format_markdown_table,
+                     format_table, unified_snapshot)
 from . import experiments
 
 __all__ = [
@@ -31,5 +32,6 @@ __all__ = [
     "format_markdown_table",
     "format_table",
     "unified_snapshot",
+    "aggregate_engine_stats",
     "experiments",
 ]

@@ -1,0 +1,71 @@
+"""Key partitioning for the sharded store.
+
+Two strategies, both pure functions of the key bytes (no RNG, no wall
+clock — a seeded cluster run is exactly repeatable):
+
+* :class:`HashPartitioner` — CRC32 of the key modulo the shard count.
+  Spreads any workload evenly; the default.
+* :class:`RangePartitioner` — explicit sorted boundary keys, shard *i*
+  owning ``[boundary[i-1], boundary[i])``.  Keeps scans shard-local for
+  range-clustered keyspaces; :meth:`RangePartitioner.for_ycsb_keyspace`
+  builds even boundaries over the YCSB ``user<19 digits>`` keyspace.
+"""
+
+from __future__ import annotations
+
+import zlib
+from bisect import bisect_right
+from typing import List, Sequence
+
+__all__ = ["HashPartitioner", "RangePartitioner", "make_partitioner"]
+
+
+class HashPartitioner:
+    """CRC32(key) mod N — deterministic hash partitioning."""
+
+    kind = "hash"
+
+    def __init__(self, num_shards: int):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = num_shards
+
+    def shard_of(self, key: bytes) -> int:
+        """The shard index owning ``key``."""
+        return zlib.crc32(key) % self.num_shards
+
+
+class RangePartitioner:
+    """Sorted boundary keys; shard ``i`` owns ``[b[i-1], b[i])``."""
+
+    kind = "range"
+
+    def __init__(self, boundaries: Sequence[bytes]):
+        bounds = list(boundaries)
+        if sorted(bounds) != bounds:
+            raise ValueError("range boundaries must be sorted")
+        self.boundaries: List[bytes] = bounds
+        self.num_shards = len(bounds) + 1
+
+    def shard_of(self, key: bytes) -> int:
+        """The shard index owning ``key``."""
+        return bisect_right(self.boundaries, key)
+
+    @classmethod
+    def for_ycsb_keyspace(cls, num_shards: int) -> "RangePartitioner":
+        """Even split of the YCSB ``user%019d`` keyspace into N ranges."""
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        space = 10 ** 19
+        boundaries = [b"user%019d" % (i * space // num_shards)
+                      for i in range(1, num_shards)]
+        return cls(boundaries)
+
+
+def make_partitioner(kind: str, num_shards: int):
+    """Build a partitioner from its config name (``hash``/``range``)."""
+    if kind == "hash":
+        return HashPartitioner(num_shards)
+    if kind == "range":
+        return RangePartitioner.for_ycsb_keyspace(num_shards)
+    raise ValueError(f"unknown partitioner {kind!r}")

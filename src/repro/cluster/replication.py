@@ -1,0 +1,188 @@
+"""Primary → replica WAL shipping with bounded lag.
+
+A :class:`ReplicationLink` carries one primary's committed group-commit
+records to one replica.  The primary's commit leader calls
+:meth:`ReplicationLink.ship` (via the engine's ``wal_shipper`` hook)
+right after its WAL barrier; the link delays each record by the
+configured network/apply lag and then applies it on the replica through
+``db.write`` — i.e. through the replica's **own** group-commit path
+(``wal.group_append``), so replica state is as crash-consistent as any
+primary's.
+
+The backlog is bounded: when ``max_backlog`` records are in flight,
+``ship`` blocks the primary's commit leader until the link drains —
+explicit backpressure that keeps replication lag within a configured
+bound instead of letting a slow replica fall arbitrarily behind.
+
+The link is deliberately *asynchronous*: an ack does not wait for the
+replica.  The durability story for acked writes therefore rests on the
+primary's own synced WAL plus failover tail replay
+(:mod:`repro.cluster.failover`), not on shipping winning a race.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List, Tuple
+
+from ..lsm.wal import WriteBatch
+from ..sim import Condition, Environment, Event
+
+__all__ = ["ReplicationLink", "ShardReplication"]
+
+
+class ReplicationLink:
+    """Ships committed WAL records from one primary to one replica."""
+
+    def __init__(self, env: Environment, shard_id: int, replica: Any,
+                 lag: float = 0.002, max_backlog: int = 64):
+        if lag < 0:
+            raise ValueError("replication lag must be >= 0")
+        if max_backlog < 1:
+            raise ValueError("max_backlog must be >= 1")
+        self.env = env
+        self.shard_id = shard_id
+        self.replica = replica
+        self.lag = lag
+        self.max_backlog = max_backlog
+        self._queue: Deque[Tuple[int, int, bytes, float]] = deque()
+        self._work = Condition(env, name=f"repl-s{shard_id}-work")
+        self._space = Condition(env, name=f"repl-s{shard_id}-space")
+        self._stopped = False
+        self._severed = False
+        #: Records applied on the replica / observed lag high-water mark.
+        self.records_applied = 0
+        self.max_lag = 0.0
+        self._proc = env.process(
+            self._run(), name=f"repl-s{shard_id}-{replica.node_id}")
+
+    # -- primary side ---------------------------------------------------
+
+    def ship(self, first_seq: int, last_seq: int, record: bytes
+             ) -> Generator[Event, Any, None]:
+        """Enqueue one committed record (blocks on a full backlog)."""
+        while len(self._queue) >= self.max_backlog and not self._stopped:
+            yield self._space.wait()
+        if self._stopped:
+            # Link torn down (failover in progress): drop the record.
+            # Tail replay reads it back from the primary's synced WAL.
+            return
+        self._queue.append((first_seq, last_seq, record, self.env.now))
+        self._work.notify_one()
+
+    def applied_through(self) -> int:
+        """Primary sequence number the replica has applied through."""
+        return self.replica.applied_primary_seq
+
+    # -- replica side ---------------------------------------------------
+
+    def _run(self) -> Generator[Event, Any, None]:
+        while True:
+            if self._stopped:
+                return
+            if not self._queue:
+                yield self._work.wait()
+                continue
+            first_seq, last_seq, record, enqueued = self._queue.popleft()
+            self._space.notify_one()
+            target = enqueued + self.lag
+            if self.env.now < target:
+                yield self.env.timeout(target - self.env.now)
+            if self._severed:
+                # The record was still in flight on the wire when the
+                # primary died: it never arrived.  Failover recovers it
+                # from the dead node's WAL tail.
+                return
+            if last_seq <= self.replica.applied_primary_seq:
+                continue  # already applied (failover replayed past it)
+            _first, batch = WriteBatch.decode(record)
+            yield from self.replica.db.write(batch)
+            self.replica.applied_primary_seq = last_seq
+            self.records_applied += 1
+            lag = self.env.now - enqueued
+            if lag > self.max_lag:
+                self.max_lag = lag
+            tracer = self.env.tracer
+            if tracer.enabled:
+                tracer.gauge(f"cluster.shard{self.shard_id}.replication_lag",
+                             lag)
+                tracer.count("cluster.records_shipped")
+
+    def sever(self) -> None:
+        """Primary death: lose everything not yet *delivered*.
+
+        Shipped-but-undelivered records model bytes in flight on the
+        wire — a dead primary's connection reset drops them, so they are
+        cleared here and only the WAL tail can bring them back.  A
+        record mid-apply on the replica has already arrived and is
+        allowed to finish (never torn).
+        """
+        self._severed = True
+        self._stopped = True
+        self._queue.clear()
+        self._work.notify_all()
+        self._space.notify_all()
+
+    def stop(self) -> Generator[Event, Any, None]:
+        """Tear the link down; an in-flight apply finishes first.
+
+        Never interrupts the apply coroutine: a half-delivered group on a
+        live replica would corrupt its write path.  Whatever is left in
+        the backlog is discarded — failover tail replay re-reads those
+        records from the primary's surviving WAL files.
+        """
+        self._stopped = True
+        self._work.notify_all()
+        self._space.notify_all()
+        yield self._proc
+
+
+class ShardReplication:
+    """Fan-out shipper over one shard's replication links.
+
+    Installed as the primary engine's ``wal_shipper``: ships every
+    committed record to each link in replica order and reports the
+    minimum applied sequence, which gates WAL-file retention on the
+    primary (a WAL may only be unlinked once *every* replica has applied
+    past its last record).
+    """
+
+    def __init__(self, links: List[ReplicationLink]):
+        if not links:
+            raise ValueError("ShardReplication requires at least one link")
+        self.links = list(links)
+
+    def ship(self, first_seq: int, last_seq: int, record: bytes
+             ) -> Generator[Event, Any, None]:
+        """Ship one committed record to every replica link."""
+        for link in self.links:
+            yield from link.ship(first_seq, last_seq, record)
+
+    def applied_through(self) -> int:
+        """Min primary sequence applied across replicas (WAL retention)."""
+        return min(link.applied_through() for link in self.links)
+
+    def sever(self) -> None:
+        """Drop every link's undelivered records (primary death)."""
+        for link in self.links:
+            link.sever()
+
+    def stop(self) -> Generator[Event, Any, None]:
+        """Stop every link (in-flight applies finish first)."""
+        for link in self.links:
+            yield from link.stop()
+
+    @property
+    def max_lag(self) -> float:
+        """Highest observed ship→apply lag across links, in seconds."""
+        return max(link.max_lag for link in self.links)
+
+    @property
+    def records_applied(self) -> int:
+        """Total records applied across links."""
+        return sum(link.records_applied for link in self.links)
+
+    @property
+    def backlog(self) -> int:
+        """Records currently queued across links."""
+        return sum(len(link._queue) for link in self.links)

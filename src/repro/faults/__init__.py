@@ -58,8 +58,11 @@ from .transient import (
     ChaosConfig,
     ChaosReport,
     ChaosResult,
+    ClusterChaosConfig,
+    ClusterChaosResult,
     chaos_engine,
     chaos_sweep,
+    cluster_chaos,
 )
 
 __all__ = [
@@ -93,6 +96,9 @@ __all__ = [
     "ChaosConfig",
     "ChaosResult",
     "ChaosReport",
+    "ClusterChaosConfig",
+    "ClusterChaosResult",
     "chaos_engine",
     "chaos_sweep",
+    "cluster_chaos",
 ]

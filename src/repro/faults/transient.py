@@ -41,7 +41,8 @@ from .plan import TransientEIO
 from .sweep import DEFAULT_ENGINES, _system
 
 __all__ = ["ChaosConfig", "ChaosResult", "ChaosReport",
-           "chaos_engine", "chaos_sweep"]
+           "chaos_engine", "chaos_sweep",
+           "ClusterChaosConfig", "ClusterChaosResult", "cluster_chaos"]
 
 
 @dataclass
@@ -267,3 +268,231 @@ def chaos_sweep(config: Optional[ChaosConfig] = None) -> ChaosReport:
     """Run :func:`chaos_engine` for every engine in the config."""
     config = config or ChaosConfig()
     return ChaosReport([chaos_engine(key, config) for key in config.engines])
+
+
+# ---------------------------------------------------------------------------
+# cluster chaos: kill a whole shard mid-run
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ClusterChaosConfig:
+    """Sizing of a cluster kill-whole-shard chaos run (CI defaults)."""
+
+    engine: str = "bolt"
+    num_shards: int = 4
+    replicas_per_shard: int = 1
+    partitioner: str = "hash"
+    num_ops: int = 600
+    keyspace: int = 96
+    value_size: int = 48
+    scale: int = 1024
+    seed: int = 23
+    replication_lag: float = 0.002
+    heartbeat_interval: float = 0.005
+    #: Fraction of the run at which one shard's primary node is killed
+    #: (engine death + power loss on its device + connections dropped).
+    kill_at: float = 0.5
+    #: Which shard dies; None draws one from the run seed.
+    kill_shard: Optional[int] = None
+    #: Acked writes aimed at the victim shard right before the kill —
+    #: their records are still in the replication backlog when the
+    #: primary dies, so failover *must* recover them from the WAL tail.
+    kill_burst: int = 8
+    #: Asserted ceiling on observed ship→apply replication lag.
+    max_lag_bound: float = 0.25
+
+
+@dataclass
+class ClusterChaosResult:
+    """Outcome of one cluster chaos run; the oracle check is *exact*.
+
+    Every request is scored: reads must return an
+    oracle-allowed value even while the killed shard fails over (they
+    park and retry on the promoted replica), and every acked write must
+    read back after the failover — the §6 clause "an acked write
+    survives single-shard failover".
+    """
+
+    engine: str
+    shards: int = 0
+    ops: int = 0
+    reads: int = 0
+    writes_acked: int = 0
+    writes_rejected: int = 0
+    killed_shard: int = -1
+    failovers: int = 0
+    failed_shards: int = 0
+    wal_tail_records_replayed: int = 0
+    max_replication_lag: float = 0.0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests that completed successfully."""
+        served = self.reads + self.writes_acked
+        return served / self.ops if self.ops else 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the run upheld the §6 contract end to end."""
+        return not self.violations
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable summary (what ``dbbench --cluster`` prints)."""
+        lines = [
+            (f"cluster[{self.engine} x{self.shards}]: {self.ops:5d} ops "
+             f"({self.reads} reads, {self.writes_acked} acked, "
+             f"{self.writes_rejected} rejected), "
+             f"killed shard {self.killed_shard}, "
+             f"{self.failovers} failovers, "
+             f"{self.wal_tail_records_replayed} WAL tail records replayed, "
+             f"max replication lag {self.max_replication_lag * 1000:.3f} ms, "
+             f"availability {self.availability:.6f}")]
+        for violation in self.violations[:10]:
+            lines.append(f"    {violation}")
+        lines.append("cluster chaos: " + ("PASS" if self.ok else "FAIL"))
+        return lines
+
+
+def cluster_chaos(config: Optional[ClusterChaosConfig] = None
+                  ) -> ClusterChaosResult:
+    """Kill a whole shard's primary mid-run; score every request.
+
+    Builds an N-shard :class:`~repro.cluster.ClusterStore` (one device +
+    filesystem + engine per node), drives a seeded read/write mix
+    against it, and at the configured point kills one shard's primary
+    outright: engine death, power loss on its device, connections
+    dropped.  Requests to the dead shard park until the
+    :class:`~repro.cluster.FailoverController` promotes the freshest
+    replica and replays the WAL tail; the oracle then requires every
+    acked write to read back and every read to see an allowed value —
+    zero violations, not "mostly available".
+    """
+    # Imported here: repro.cluster sits above the fault layer, and this
+    # keeps the module dependency graph acyclic for everything that
+    # imports transient chaos without a cluster.
+    from ..cluster import ClusterConfig, ClusterStore, ShardDownError
+
+    config = config or ClusterChaosConfig()
+    spec = _system(config.engine)
+    env = Environment()
+    options = spec.options(config.scale).copy(
+        wal_sync=True, memtable_size=4096, block_cache_bytes=4096)
+    cluster = ClusterStore(
+        env, spec.engine_cls, options,
+        ClusterConfig(num_shards=config.num_shards,
+                      replicas_per_shard=config.replicas_per_shard,
+                      partitioner=config.partitioner,
+                      replication_lag=config.replication_lag,
+                      heartbeat_interval=config.heartbeat_interval,
+                      scale=config.scale,
+                      page_cache_bytes=16 << 10))
+    result = ClusterChaosResult(engine=config.engine,
+                                shards=config.num_shards)
+
+    oracle = DurabilityOracle()
+    rng = random.Random(config.seed)
+    kill_index = int(config.num_ops * config.kill_at)
+    killed = False
+    burst_written = False
+
+    for i in range(config.num_ops):
+        if not killed and i >= kill_index:
+            if config.kill_shard is not None:
+                shard_id = config.kill_shard
+            else:
+                # Kill the owner of a seeded key draw: guaranteed to be
+                # a shard that actually serves traffic (under range
+                # partitioning some shards may own none of the
+                # keyspace).
+                shard_id = cluster.router.partitioner.shard_of(
+                    b"user%06d" % rng.randrange(config.keyspace))
+            result.killed_shard = shard_id
+            victim = cluster.shards[shard_id]
+            # Acked burst straight into the victim, then kill with the
+            # records still in the replication backlog: the only copy a
+            # replica can recover them from is the dead node's WAL tail.
+            burst_keys = [k for k in
+                          (b"user%06d" % n for n in range(config.keyspace))
+                          if cluster.router.shard_for(k) is victim]
+            burst_written = bool(burst_keys[:config.kill_burst])
+            for j, key in enumerate(burst_keys[:config.kill_burst]):
+                value = b"burst%04d-" % j + b"x" * config.value_size
+                oracle.begin(key, value)
+                cluster.put_sync(key, value)
+                oracle.acked(key, value)
+                result.writes_acked += 1
+                result.ops += 1
+            victim.kill_primary()
+            killed = True
+
+        result.ops += 1
+        key = b"user%06d" % rng.randrange(config.keyspace)
+        if rng.random() < 0.5:
+            value = b"v%08d-" % i + b"x" * config.value_size
+            oracle.begin(key, value)
+            try:
+                cluster.put_sync(key, value)
+            except (ReadOnlyError, ShardDownError) as exc:
+                result.writes_rejected += 1
+                result.violations.append(
+                    f"[write-rejected] op {i} key={key!r}: {exc!r}")
+                pending = oracle.pending.get(key)
+                if pending is not None:
+                    pending.remove(value)
+                    if not pending:
+                        del oracle.pending[key]
+            else:
+                result.writes_acked += 1
+                oracle.acked(key, value)
+        else:
+            result.reads += 1
+            try:
+                got = cluster.get_sync(key)
+            except Exception as exc:  # noqa: BLE001 - reads must not fail
+                result.violations.append(
+                    f"[read-failed] op {i} key={key!r}: {exc!r}")
+                continue
+            allowed = oracle.snapshot().allowed(key)
+            if got not in allowed:
+                result.violations.append(
+                    f"[stale-read] op {i} key={key!r}: got {got!r}")
+
+    # Final exact check: every acked write must read back an allowed
+    # value from the post-failover cluster, and no phantom keys appear.
+    state = oracle.snapshot()
+    for key in sorted(state.durable):
+        got = cluster.get_sync(key)
+        if got not in state.allowed(key):
+            result.violations.append(
+                f"[failover-durability] key={key!r}: read {got!r}")
+    for row_key, _row_value in cluster.scan_sync(b"", config.keyspace + 64):
+        if row_key not in state.keys():
+            result.violations.append(f"[phantom-key] {row_key!r}")
+
+    describe = cluster.describe()
+    result.failovers = describe["failovers"]
+    result.failed_shards = sum(
+        1 for s in cluster.shards if s.state == "failed")
+    result.wal_tail_records_replayed = describe["wal_tail_records_replayed"]
+    result.max_replication_lag = describe["max_replication_lag"]
+    if killed and result.failovers < 1:
+        result.violations.append(
+            "[no-failover] primary killed but no replica was promoted")
+    if (killed and burst_written
+            and result.wal_tail_records_replayed < 1):
+        result.violations.append(
+            "[no-tail-replay] pre-kill burst was acked but failover "
+            "replayed no WAL tail records")
+    if result.failed_shards:
+        result.violations.append(
+            f"[shard-lost] {result.failed_shards} shard(s) ended with no "
+            f"primary")
+    if result.max_replication_lag > config.max_lag_bound:
+        result.violations.append(
+            f"[lag-bound] observed replication lag "
+            f"{result.max_replication_lag:.6f}s exceeds configured bound "
+            f"{config.max_lag_bound:.6f}s")
+    cluster.close_sync()
+    return result

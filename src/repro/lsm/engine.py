@@ -232,6 +232,18 @@ class LSMEngine:
         self._wal_writer: Optional[LogWriter] = None
         self._wal_number = 0
         self._imm_wal_name: Optional[str] = None
+        #: Last sequence number covered by ``_imm_wal_name`` (stamped at
+        #: rotation; used to decide when a retired WAL may be unlinked).
+        self._imm_wal_seq = 0
+        #: Retired WALs kept on disk because a replication link has not
+        #: yet applied their records: ``(last_seq, name)`` pairs.
+        self._retained_wals: List[Tuple[int, str]] = []
+        #: Optional replication hook (installed by ``repro.cluster``).
+        #: When set, every committed group's encoded WAL record is
+        #: shipped via ``wal_shipper.ship(first_seq, last_seq, record)``
+        #: and retired WALs are retained on disk until
+        #: ``wal_shipper.applied_through()`` passes their last sequence.
+        self.wal_shipper: Optional[Any] = None
 
         self._mutex = Resource(env, 1, name=f"{dbname}-mutex")
         #: Writer queue for group commit; the front entry is the commit
@@ -589,11 +601,12 @@ class LSMEngine:
             merged = WriteBatch()
             for member in group:
                 merged.extend(member.batch)
+        record = merged.encode(first_seq)
         span_ctx = self.env.tracer.span("svc.group_commit", cat="svc",
                                         group_size=len(group))
         with span_ctx as span:
             try:
-                self._wal_writer.append(merged.encode(first_seq), meter)
+                self._wal_writer.append(record, meter)
             except DiskFullError as exc:
                 # All-or-nothing: the WAL frame was never buffered, so
                 # nothing of this group exists anywhere.  Un-claim the
@@ -641,6 +654,13 @@ class LSMEngine:
             tracer.count("svc.grouped_writes", len(group))
             if saved:
                 tracer.count("svc.barriers_saved", saved)
+        if self.wal_shipper is not None:
+            # Ship the committed record to replication links.  Runs with
+            # the db mutex held, so a full link backlog exerts
+            # backpressure on the commit leader (bounded replication
+            # lag); the links themselves never take this mutex.
+            yield from self.wal_shipper.ship(first_seq, prev_seq + num_ops,
+                                             record)
         yield from meter.drain()
 
     def _make_room(self, meter: CpuMeter) -> Generator[Event, Any, None]:
@@ -680,6 +700,7 @@ class LSMEngine:
                 # Rotate: current MemTable becomes immutable.
                 self._imm = self._memtable
                 self._imm_wal_name = self._wal_name(self._wal_number)
+                self._imm_wal_seq = self.versions.last_sequence
                 self._memtable = MemTable(seed=opts.seed)
                 if self.env.sanitizer.enabled:
                     self.env.sanitizer.note_write(self, "memtable_switch")
@@ -995,6 +1016,7 @@ class LSMEngine:
             if len(self._memtable):
                 self._imm = self._memtable
                 self._imm_wal_name = self._wal_name(self._wal_number)
+                self._imm_wal_seq = self.versions.last_sequence
                 self._memtable = MemTable(seed=self.options.seed)
                 if self.env.sanitizer.enabled:
                     self.env.sanitizer.note_write(self, "memtable_switch")
@@ -1037,6 +1059,7 @@ class LSMEngine:
             try:
                 self._imm = None
                 old_wal = self._imm_wal_name
+                old_wal_seq = self._imm_wal_seq
                 self._imm_wal_name = None
                 if self.env.sanitizer.enabled:
                     self.env.sanitizer.note_write(self, "memtable_switch")
@@ -1045,9 +1068,33 @@ class LSMEngine:
             self.stats.memtable_flushes += 1
             self.stats.compaction_time += self.env.now - started
             if old_wal and self.fs.exists(old_wal):
-                yield from self.fs.unlink(old_wal)
+                if self._wal_releasable(old_wal_seq):
+                    yield from self.fs.unlink(old_wal)
+                else:
+                    # A replication link still needs this WAL's records
+                    # for failover tail replay; keep it on disk until
+                    # every link has applied past its last sequence.
+                    self._retained_wals.append((old_wal_seq, old_wal))
+            yield from self._release_retained_wals()
             span.set(tables=len(metas))
         self._maybe_schedule_more()
+
+    def _wal_releasable(self, last_seq: int) -> bool:
+        """True when no replication link still needs this retired WAL."""
+        shipper = self.wal_shipper
+        return shipper is None or shipper.applied_through() >= last_seq
+
+    def _release_retained_wals(self) -> Generator[Event, Any, None]:
+        """Unlink retained WALs whose records every replica has applied."""
+        still: List[Tuple[int, str]] = []
+        for last_seq, name in self._retained_wals:
+            if not self.fs.exists(name):
+                continue
+            if self._wal_releasable(last_seq):
+                yield from self.fs.unlink(name)
+            else:
+                still.append((last_seq, name))
+        self._retained_wals = still
 
     def _maybe_schedule_more(self) -> None:
         if self.has_pending_work():

@@ -165,14 +165,22 @@ class Server:
 
     # -- admission -------------------------------------------------------
 
-    def admission_state(self) -> str:
+    def admission_state(self, key: Any = None) -> str:
         """The admission state machine's current node (docs diagram).
 
         ``read_only``  — health degradation: writes fail fast, typed.
         ``shed_writes`` — the engine sits at the L0Stop governor; under
         ``POLICY_REJECT`` new writes are shed before they queue.
         ``open``       — normal admission (queue-full policy applies).
+
+        A backend that defines its own ``admission_state`` (the cluster
+        store: admission is per *shard*, so per key) is delegated to;
+        the engine fallback below ignores ``key`` — one engine has one
+        state.
         """
+        backend_state = getattr(self.db, "admission_state", None)
+        if backend_state is not None:
+            return backend_state(key)
         if self.db.health.read_only:
             return "read_only"
         options = self.db.options
@@ -204,7 +212,7 @@ class Server:
         if self._closed:
             return self._resolved(request, STATUS_REJECTED, "server closed")
         is_write = request.kind in WRITE_KINDS
-        state = self.admission_state()
+        state = self.admission_state(request.key)
         if is_write and state == "read_only":
             self.stats.read_only += 1
             return self._resolved(request, STATUS_READ_ONLY,
@@ -220,6 +228,13 @@ class Server:
                 return self._resolved(request, STATUS_REJECTED,
                                       "admission queue full")
             yield self._space.wait()
+            if self._closed:
+                # The server stopped while this submitter was parked in
+                # the admission queue: resolve typed instead of letting
+                # the process hang on a condition nobody will notify.
+                self.stats.rejected += 1
+                return self._resolved(request, STATUS_REJECTED,
+                                      "server closed")
         done = self.env.event()
         record = None
         tracer = self.env.tracer
@@ -298,12 +313,49 @@ class Server:
             yield self._idle.wait()
 
     def close(self) -> Generator[Event, Any, None]:
-        """Drain outstanding requests, then stop every worker."""
+        """Drain outstanding requests, then stop every worker.
+
+        Draining admits the queued work, so ``POLICY_BLOCK`` submitters
+        parked on the space condition get slots and complete normally;
+        the final notify sweeps up any submitter still parked (a burst
+        larger than the queue), which then resolves typed-rejected.
+        """
         yield from self.drain()
         self._closed = True
         self._work.notify_all()
+        self._space.notify_all()
+        yield self.env.all_of(self._workers)
+
+    def abort(self) -> Generator[Event, Any, None]:
+        """Stop *now*: queued and parked requests resolve typed-rejected.
+
+        Workers finish the request they are executing (no mid-operation
+        interrupt — the engine's write path must never be torn), every
+        queued request resolves with a ``rejected`` outcome, and every
+        ``POLICY_BLOCK`` submitter parked on the space condition wakes
+        to a typed rejection.  No client hangs, no sim process leaks.
+        """
+        self._closed = True
+        tracer = self.env.tracer
+        while self._queue:
+            request, done, record = self._queue.popleft()
+            if record is not None:
+                tracer.finish_span(record)
+            self.stats.rejected += 1
+            self.stats.completed += 1
+            now = self.env.now
+            done.succeed(RequestOutcome(request=request,
+                                        status=STATUS_REJECTED,
+                                        started=now, finished=now,
+                                        error="server closed"))
+        self._work.notify_all()
+        self._space.notify_all()
         yield self.env.all_of(self._workers)
 
     def close_sync(self) -> None:
         """Blocking wrapper around :meth:`close`."""
         self.env.run_until(self.env.process(self.close()))
+
+    def abort_sync(self) -> None:
+        """Blocking wrapper around :meth:`abort`."""
+        self.env.run_until(self.env.process(self.abort()))

@@ -31,7 +31,8 @@ from ..bench.metrics import LatencyRecorder
 from ..obs import Tracer, phase_summary, write_chrome_trace
 from ..sim import Event
 
-__all__ = ["main", "run_benchmarks", "run_crash_sweep", "run_chaos"]
+__all__ = ["main", "run_benchmarks", "run_crash_sweep", "run_chaos",
+           "run_cluster_bench", "run_cluster_chaos"]
 
 BENCHMARKS = ("fillseq", "fillrandom", "overwrite", "readrandom",
               "readmissing", "readseq", "deleterandom", "compact", "stats")
@@ -108,6 +109,22 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-wal-sync", action="store_true",
                         help="--server: skip the per-group WAL barrier "
                              "(records still merge)")
+    parser.add_argument("--cluster", action="store_true",
+                        help="run against a repro.cluster sharded store "
+                             "(N primaries, each with replicas and WAL "
+                             "shipping) behind the serving layer; combine "
+                             "with --chaos for the kill-whole-shard "
+                             "availability run")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="--cluster: number of shards (default 4)")
+    parser.add_argument("--replicas", type=int, default=1,
+                        help="--cluster: replicas per shard (default 1)")
+    parser.add_argument("--replication-lag", type=float, default=0.002,
+                        help="--cluster: ship->apply delay per WAL record "
+                             "in seconds (default 0.002)")
+    parser.add_argument("--partitioner", default="hash",
+                        choices=("hash", "range"),
+                        help="--cluster: key partitioning (default hash)")
     return parser
 
 
@@ -236,9 +253,149 @@ def run_server_bench(args: argparse.Namespace, out=print) -> List[dict]:
     return rows
 
 
+def run_cluster_chaos(args: argparse.Namespace, out=print) -> List[dict]:
+    """Handle ``--cluster --chaos``: kill-whole-shard availability run."""
+    from ..faults import ClusterChaosConfig, cluster_chaos
+    config = ClusterChaosConfig(
+        engine=args.engine, num_shards=args.shards,
+        replicas_per_shard=args.replicas, partitioner=args.partitioner,
+        num_ops=min(args.num, 600), seed=args.seed,
+        replication_lag=args.replication_lag)
+    out(f"cluster chaos: engine {args.engine}, {config.num_shards} shards "
+        f"x {config.replicas_per_shard} replicas ({config.partitioner}), "
+        f"{config.num_ops} ops, kill at {config.kill_at:.0%} of the run, "
+        f"replication lag {config.replication_lag * 1000:g} ms")
+    result = cluster_chaos(config)
+    for line in result.summary_lines():
+        out(line)
+    rows = [{"benchmark": "cluster-chaos", "engine": result.engine,
+             "shards": result.shards, "ops": result.ops,
+             "availability": round(result.availability, 6),
+             "failovers": result.failovers,
+             "wal_tail_records_replayed": result.wal_tail_records_replayed,
+             "violations": len(result.violations)}]
+    if not result.ok:
+        raise SystemExit(1)
+    return rows
+
+
+def run_cluster_bench(args: argparse.Namespace, out=print) -> List[dict]:
+    """Handle ``--cluster``: open-loop clients against a sharded store.
+
+    Builds an N-shard :class:`~repro.cluster.ClusterStore` (every node a
+    complete simulated machine), preloads ``--num`` records through the
+    router, then fronts the cluster with the same :class:`repro.svc`
+    server + open-loop loadgen used for one engine — the backend swap is
+    invisible to the clients.  Output is deterministic for fixed
+    arguments, so CI diffs two runs byte-for-byte.
+    """
+    from ..cluster import ClusterConfig, ClusterStore
+    from ..sim import Environment
+    from ..svc import Server
+    from ..svc.loadgen import run_open_loop
+    from ..ycsb.distributions import build_key
+    from ..ycsb.workload import WORKLOADS
+    if args.no_wal_sync:
+        raise SystemExit("--cluster requires the WAL barrier; the acked-"
+                         "write-survives-failover contract needs wal_sync "
+                         "(drop --no-wal-sync)")
+    spec = WORKLOADS.get(args.workload)
+    if spec is None or spec.is_load:
+        raise SystemExit(f"unknown --workload {args.workload!r} "
+                         f"(choose a run phase: a, b, c, d, e, f)")
+    sanitize = getattr(args, "sanitize", False)
+    env = Environment(sanitize=sanitize)
+    system = SYSTEMS[args.engine]
+    options = system.options(args.scale).copy(wal_sync=True)
+    config = ClusterConfig(
+        num_shards=args.shards, replicas_per_shard=args.replicas,
+        partitioner=args.partitioner, replication_lag=args.replication_lag,
+        scale=args.scale)
+    cluster = ClusterStore(env, system.engine_cls, options, config)
+    value = b"p" * args.value_size
+    for i in range(args.num):
+        cluster.put_sync(build_key(i), value)
+    server = Server(env, cluster, num_workers=args.workers,
+                    queue_depth=args.queue_depth, policy=args.admission)
+    per_client = max(1, args.num // args.clients)
+    out(f"cluster: engine {system.label}, {args.shards} shards x "
+        f"{args.replicas} replicas ({args.partitioner}), replication lag "
+        f"{args.replication_lag * 1000:g} ms, workload {args.workload}, "
+        f"{args.clients} clients x {per_client} requests, "
+        f"{args.arrival} arrivals at {args.arrival_rate:g}/s/client, "
+        f"{args.workers} workers, queue {args.queue_depth} "
+        f"({args.admission})")
+    report = run_open_loop(
+        env, server, spec, num_clients=args.clients,
+        requests_per_client=per_client, rate=args.arrival_rate,
+        record_count=args.num, value_size=args.value_size, seed=args.seed,
+        arrival=args.arrival, burst_seconds=args.burst,
+        idle_seconds=args.idle)
+    server.close_sync()
+    rows: List[dict] = []
+    for summary in report.summary_rows():
+        row = {
+            "benchmark": "cluster",
+            "client": summary["client"],
+            "requests": summary["submitted"],
+            "ok": summary["ok"],
+            "rejected": summary["rejected"],
+            "read_only": summary["read_only"],
+            "p50_ms": round(summary["p50"] * 1e3, 4),
+            "p99_ms": round(summary["p99"] * 1e3, 4),
+            "p999_ms": round(summary["p999"] * 1e3, 4),
+        }
+        rows.append(row)
+        out(f"client {row['client']}: {row['requests']:5d} requests, "
+            f"{row['ok']:5d} ok, {row['rejected']:4d} rejected, "
+            f"{row['read_only']:3d} read-only; p50 {row['p50_ms']} ms, "
+            f"p99 {row['p99_ms']} ms, p999 {row['p999_ms']} ms")
+    totals = report.totals()
+    snap = unified_snapshot(None, db=cluster, server=server)
+    out(f"totals: {totals['ok']}/{totals['submitted']} ok; merged "
+        f"p99 {round(totals['p99'] * 1e3, 4)} ms, "
+        f"p999 {round(totals['p999'] * 1e3, 4)} ms")
+    engine = snap["engine"]
+    out(f"group_commits: {engine['group_commits']:.0f}  "
+        f"grouped_writes: {engine['grouped_writes']:.0f}  "
+        f"barriers_saved: {engine['barriers_saved']:.0f}")
+    replication = snap["replication"]
+    out(f"replication: {replication['records_applied']:.0f} records "
+        f"applied on {replication['replicas']:.0f} replicas, max lag "
+        f"{replication['max_lag'] * 1000:.3f} ms, backlog "
+        f"{replication['backlog']:.0f}, failovers "
+        f"{replication['failovers']:.0f}")
+    for shard in cluster.shards:
+        status = shard.describe()
+        out(f"shard {status['shard']}: state {status['state']}, primary "
+            f"{status['primary']}, replicas "
+            f"{','.join(status['replicas']) or '-'}, "
+            f"{status['records_applied']} records applied, max lag "
+            f"{status['replication_max_lag'] * 1000:.3f} ms")
+    rows.append({"benchmark": "cluster-totals",
+                 "ok": totals["ok"], "submitted": totals["submitted"],
+                 "group_commits": engine["group_commits"],
+                 "records_applied": replication["records_applied"],
+                 "max_lag_ms": round(replication["max_lag"] * 1e3, 4),
+                 "failovers": replication["failovers"]})
+    cluster.close_sync()
+    if sanitize:
+        reports = env.sanitizer.reports
+        if reports:
+            for report in reports:
+                out(f"sanitizer: {report.render()}")
+            raise SystemExit(1)
+        out("sanitizer: clean (no lock-order cycles, no data races)")
+    return rows
+
+
 def run_benchmarks(args: argparse.Namespace,
                    out=print) -> List[dict]:
     """Run the requested benchmark list; returns one row per benchmark."""
+    if getattr(args, "cluster", False):
+        if getattr(args, "chaos", False):
+            return run_cluster_chaos(args, out)
+        return run_cluster_bench(args, out)
     if getattr(args, "crash_sweep", False):
         return run_crash_sweep(args, out)
     if getattr(args, "chaos", False):

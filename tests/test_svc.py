@@ -158,6 +158,85 @@ class TestServerBasics:
             Server(env, db, policy="drop-everything")
 
 
+class TestShutdownWithParkedSubmitters:
+    """Server stop while POLICY_BLOCK submitters are parked on the
+    space condition: every one must resolve typed, none may hang, and
+    no sim process may leak on the condition."""
+
+    def _parked_burst(self, policy_stop):
+        """Drive 8 blocking submitters at a 1-slot queue, then stop.
+
+        ``policy_stop`` is the server generator method used to stop
+        (``Server.abort`` or ``Server.close``).  Returns the outcomes
+        dict and the server.
+        """
+        env, _fs, db = fresh_stack()
+        server = Server(env, db, num_workers=1, queue_depth=1,
+                        policy=POLICY_BLOCK)
+        outcomes = {}
+
+        def submitter(i):
+            done = yield from server.submit(
+                Request("insert", b"park%02d" % i, b"v" * 32))
+            outcomes[i] = yield done
+
+        for i in range(8):
+            env.process(submitter(i), name=f"parked-{i}")
+
+        def stopper():
+            # A few microseconds in: the queue is full and most
+            # submitters are parked on the space condition.
+            yield env.timeout(2e-6)
+            yield from policy_stop(server)
+
+        env.run_until(env.process(stopper(), name="stopper"))
+        env.run()
+        return outcomes, server
+
+    def test_abort_resolves_parked_submitters_typed(self):
+        outcomes, server = self._parked_burst(Server.abort)
+        assert sorted(outcomes) == list(range(8))
+        statuses = [outcomes[i].status for i in range(8)]
+        assert all(s in (STATUS_OK, STATUS_REJECTED) for s in statuses)
+        # The burst outnumbers queue+worker, so parked submitters exist
+        # at the abort and must come back typed-rejected, not hang.
+        assert statuses.count(STATUS_REJECTED) >= 5
+        for i in range(8):
+            if outcomes[i].status == STATUS_REJECTED:
+                assert "closed" in outcomes[i].error
+        # No submitter is left parked on the space condition and the
+        # accounting matches: every submission completed or was shed.
+        assert server._space.waiting == 0
+        assert server._work.waiting == 0
+        stats = server.stats
+        assert stats.completed + stats.rejected >= stats.submitted
+
+    def test_close_drains_then_sweeps_parked_submitters(self):
+        outcomes, server = self._parked_burst(Server.close)
+        # Graceful close: drain admits the queued work, so parked
+        # submitters take the freed slots and complete; anything still
+        # parked at the final notify resolves typed-rejected.
+        assert sorted(outcomes) == list(range(8))
+        for i in range(8):
+            assert outcomes[i].status in (STATUS_OK, STATUS_REJECTED)
+            if outcomes[i].status == STATUS_REJECTED:
+                assert "closed" in outcomes[i].error
+        assert server._space.waiting == 0
+
+    def test_abort_rejects_queued_requests_and_stops_workers(self):
+        env, _fs, db = fresh_stack()
+        server = Server(env, db, num_workers=1, queue_depth=8,
+                        policy=POLICY_REJECT)
+        outcomes = submit_and_wait(env, server, [
+            Request("insert", b"q%02d" % i, b"v") for i in range(4)])
+        assert all(o.ok for o in outcomes)
+        server.abort_sync()
+        # Post-abort submissions resolve immediately, typed.
+        late = submit_and_wait(env, server, [Request("read", b"q00")])
+        assert late[0].status == STATUS_REJECTED
+        assert "closed" in late[0].error
+
+
 class TestArrivalProcesses:
     def test_poisson_is_seeded_and_positive(self):
         import random
