@@ -9,13 +9,23 @@ merge shards from concurrent clients.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from typing import Iterable, List, Tuple
 
 __all__ = ["LatencyHistogram"]
 
 
 class LatencyHistogram:
-    """Latencies bucketed at ``precision`` buckets per decade."""
+    """Latencies bucketed at ``precision`` buckets per decade.
+
+    ``record`` is the hot path — every simulated operation reports its
+    latency here — so bucketing is a bisect over cut points precomputed
+    at construction instead of a ``log10`` per sample.  The cut points
+    are walked (``math.nextafter``) to agree with the original log
+    formula for *every* float, so the rewrite is count-identical; the
+    formula itself survives as :meth:`_formula_bucket` and is exercised
+    against the bisect path by the test suite.
+    """
 
     def __init__(self, min_latency: float = 1e-7, max_latency: float = 100.0,
                  buckets_per_decade: int = 20):
@@ -31,10 +41,16 @@ class LatencyHistogram:
         self._sum = 0.0
         self._min = float("inf")
         self._max = 0.0
+        self._cuts = self._build_cuts()
 
     # -- recording -----------------------------------------------------------
 
-    def _bucket_of(self, latency: float) -> int:
+    def _formula_bucket(self, latency: float) -> int:
+        """Bucket index by the original log formula (reference path).
+
+        Kept as the ground truth the precomputed cuts must reproduce;
+        only construction and tests call it.
+        """
         if latency <= self.min_latency:
             return 0
         if latency >= self.max_latency:
@@ -43,6 +59,27 @@ class LatencyHistogram:
                     * self.buckets_per_decade)
         return min(self._num_buckets - 2, int(position) + 1)
 
+    def _build_cuts(self) -> List[float]:
+        """Cut points such that bisect reproduces ``_formula_bucket``.
+
+        ``cuts[k]`` is the largest float belonging to bucket ``k + 1``,
+        found by nudging the analytic boundary with ``math.nextafter``
+        until the formula flips.  The walk is exact because the formula
+        is a composition of monotone float operations, so each bucket's
+        preimage is a contiguous float interval.
+        """
+        cuts: List[float] = []
+        formula = self._formula_bucket
+        up = math.inf
+        for j in range(1, self._num_buckets - 2):
+            guess = self.min_latency * 10 ** (j / self.buckets_per_decade)
+            while formula(guess) > j:
+                guess = math.nextafter(guess, 0.0)
+            while formula(guess) <= j:
+                guess = math.nextafter(guess, up)
+            cuts.append(math.nextafter(guess, 0.0))
+        return cuts
+
     def _bucket_upper(self, index: int) -> float:
         if index >= self._num_buckets - 1:
             return self.max_latency
@@ -50,16 +87,48 @@ class LatencyHistogram:
 
     def record(self, latency: float) -> None:
         """Add one latency sample (seconds)."""
-        self._counts[self._bucket_of(latency)] += 1
+        if latency <= self.min_latency:
+            index = 0
+        elif latency >= self.max_latency:
+            index = self._num_buckets - 1
+        else:
+            index = bisect_left(self._cuts, latency) + 1
+        self._counts[index] += 1
         self._count += 1
         self._sum += latency
-        self._min = min(self._min, latency)
-        self._max = max(self._max, latency)
+        if latency < self._min:
+            self._min = latency
+        if latency > self._max:
+            self._max = latency
 
     def record_all(self, latencies: Iterable[float]) -> None:
-        """Add every sample of ``latencies``."""
+        """Add every sample of ``latencies``.
+
+        Same accumulation order as repeated :meth:`record` calls — the
+        float ``_sum`` must come out bit-identical either way.
+        """
+        counts = self._counts
+        cuts = self._cuts
+        lo = self.min_latency
+        hi = self.max_latency
+        last = self._num_buckets - 1
+        total = self._sum
+        n = 0
         for latency in latencies:
-            self.record(latency)
+            if latency <= lo:
+                counts[0] += 1
+            elif latency >= hi:
+                counts[last] += 1
+            else:
+                counts[bisect_left(cuts, latency) + 1] += 1
+            n += 1
+            total += latency
+            if latency < self._min:
+                self._min = latency
+            if latency > self._max:
+                self._max = latency
+        self._count += n
+        self._sum = total
 
     # -- statistics -------------------------------------------------------------
 

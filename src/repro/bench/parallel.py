@@ -1,0 +1,57 @@
+"""Opt-in process-pool fan-out for independent simulation runs.
+
+Each simulated run is single-threaded and deterministic, so a sweep
+over engines/configs/seeds is embarrassingly parallel: every task gets
+its own interpreter (its own virtual clock, RNGs and SimFS) and the
+merge is a plain by-index reassembly.  Results are therefore identical
+to a serial loop — parallelism changes wall-clock time only, never a
+single output byte.
+
+Stays serial unless explicitly asked for (``processes > 1``): worker
+processes are an observable cost, and the tier-1 suite must not fork
+pools behind the caller's back.  See ``docs/PERFORMANCE.md`` for
+guidance on when fan-out actually pays.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+__all__ = ["parallel_map", "run_tagged"]
+
+
+def run_tagged(task: Tuple[Callable[..., Any], tuple]) -> Any:
+    """Invoke one ``(func, args)`` task; module-level so it pickles."""
+    func, args = task
+    return func(*args)
+
+
+def parallel_map(func: Callable[..., Any], items: Sequence[tuple],
+                 processes: int = 1,
+                 chunksize: Optional[int] = None) -> List[Any]:
+    """Run ``func(*args)`` for each args-tuple, optionally in a pool.
+
+    Returns results in the order of ``items`` regardless of which
+    worker finishes first — ``ProcessPoolExecutor.map`` already yields
+    by input index, so the merged list is deterministic given
+    deterministic ``func``.  With ``processes <= 1`` (the default) the
+    loop runs serially in-process: no forked interpreters, identical
+    results, and tracebacks stay local — this is the mode every test
+    and CI job uses.
+
+    ``func`` and every element of ``items`` must be picklable (defined
+    at module level, no live simulation objects), because each parallel
+    task is shipped to a fresh worker interpreter.
+    """
+    tasks = [(func, tuple(args)) for args in items]
+    if processes <= 1 or len(tasks) <= 1:
+        return [run_tagged(task) for task in tasks]
+    # Imported lazily: the serial path must not pay for (or depend on)
+    # multiprocessing machinery.
+    from concurrent.futures import ProcessPoolExecutor
+
+    workers = min(processes, len(tasks))
+    if chunksize is None:
+        chunksize = 1
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(run_tagged, tasks, chunksize=chunksize))

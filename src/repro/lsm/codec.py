@@ -37,6 +37,16 @@ MAX_SEQUENCE = (1 << 56) - 1
 
 _FIXED32 = struct.Struct("<I")
 _FIXED64 = struct.Struct("<Q")
+#: Two fixed32s in one pack/unpack — block trailers (count || crc) and
+#: log-record headers (len || crc) are encoded with a single struct call.
+_FIXED32_PAIR = struct.Struct("<II")
+
+#: Single-byte varints, precomputed: lengths under 128 cover almost every
+#: key/value/count the encoders emit.
+_VARINT1 = [bytes([i]) for i in range(0x80)]
+#: Lazily-filled cache for two-byte varints (128..16383): value sizes and
+#: block offsets repeat heavily within a run.
+_VARINT2: dict = {}
 
 
 class CorruptionError(Exception):
@@ -50,6 +60,14 @@ def crc32(data: bytes) -> int:
 
 def encode_varint(value: int) -> bytes:
     """LEB128-encode a non-negative integer."""
+    if 0 <= value < 0x80:
+        return _VARINT1[value]
+    if value < 0x4000:
+        cached = _VARINT2.get(value)
+        if cached is None:
+            cached = bytes((value & 0x7F | 0x80, value >> 7))
+            _VARINT2[value] = cached
+        return cached
     if value < 0:
         raise ValueError("varint cannot encode negative values")
     out = bytearray()
@@ -65,11 +83,16 @@ def encode_varint(value: int) -> bytes:
 
 def decode_varint(data: bytes, offset: int = 0) -> Tuple[int, int]:
     """Decode a varint; returns ``(value, next_offset)``."""
+    size = len(data)
+    if offset < size:
+        byte = data[offset]
+        if not byte & 0x80:  # single-byte fast path
+            return byte, offset + 1
     result = 0
     shift = 0
     pos = offset
     while True:
-        if pos >= len(data):
+        if pos >= size:
             raise CorruptionError("truncated varint")
         byte = data[pos]
         pos += 1

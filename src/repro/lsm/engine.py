@@ -21,6 +21,7 @@ from itertools import islice
 from typing import Any, Deque, Dict, Generator, Iterable, List, Optional, Set, Tuple
 
 from ..health import ErrorManager, ReadOnlyError, Scrubber
+from ..obs.tracer import NULL_SPAN
 from ..sim import Condition, CpuMeter, Environment, Event, Interrupt, Resource
 from ..storage import DeviceError, DiskFullError, FileHandle, SimFS
 from .cache import BlockCache, TableCache
@@ -602,8 +603,10 @@ class LSMEngine:
             for member in group:
                 merged.extend(member.batch)
         record = merged.encode(first_seq)
-        span_ctx = self.env.tracer.span("svc.group_commit", cat="svc",
-                                        group_size=len(group))
+        tracer = self.env.tracer
+        span_ctx = (tracer.span("svc.group_commit", cat="svc",
+                                group_size=len(group))
+                    if tracer.enabled else NULL_SPAN)
         with span_ctx as span:
             try:
                 self._wal_writer.append(record, meter)

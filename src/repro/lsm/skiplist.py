@@ -4,6 +4,13 @@ Mirrors LevelDB's ``SkipList`` (§2.1 of the paper: "the MemTable is
 implemented as a SkipList, while an SSTable is a sorted array").  Keys
 are arbitrary comparable objects; the MemTable stores internal-key
 tuples so that multiple versions of one user key coexist.
+
+Nodes are plain Python lists — ``[key, value, next_0, .., next_h-1]`` —
+rather than objects: list indexing is a single C-level operation where
+attribute access pays a dict/descriptor lookup, and the insert path is
+hot enough (every write in every simulated engine lands here) for that
+to dominate MemTable cost.  The tower-height RNG draw sequence is part
+of the repo's determinism contract and is unchanged.
 """
 
 from __future__ import annotations
@@ -16,14 +23,9 @@ __all__ = ["SkipList"]
 _MAX_HEIGHT = 12
 _BRANCHING = 4
 
-
-class _Node:
-    __slots__ = ("key", "value", "next")
-
-    def __init__(self, key: Any, value: Any, height: int):
-        self.key = key
-        self.value = value
-        self.next: List[Optional["_Node"]] = [None] * height
+#: Node layout: ``node[0]`` key, ``node[1]`` value, ``node[2 + level]``
+#: the successor pointer at ``level``.
+_NEXT0 = 2
 
 
 class SkipList:
@@ -34,10 +36,14 @@ class SkipList:
     """
 
     def __init__(self, seed: Optional[int] = None):
-        self._head = _Node(None, None, _MAX_HEIGHT)
+        self._head: list = [None, None] + [None] * _MAX_HEIGHT
         self._height = 1
         self._rng = random.Random(seed)
         self._size = 0
+        #: Reusable insert scratch.  Slots below the current height are
+        #: rewritten by every find; higher slots are set explicitly when
+        #: a tower grows, so no per-insert reset is needed.
+        self._prev: List[list] = [self._head] * _MAX_HEIGHT
 
     def __len__(self) -> int:
         return self._size
@@ -49,62 +55,67 @@ class SkipList:
         return height
 
     def _find_greater_or_equal(self, key: Any,
-                               prev: Optional[List[_Node]] = None) -> Optional[_Node]:
+                               prev: Optional[List[list]] = None
+                               ) -> Optional[list]:
         node = self._head
-        level = self._height - 1
+        slot = self._height - 1 + _NEXT0
         while True:
-            nxt = node.next[level]
-            if nxt is not None and nxt.key < key:
+            nxt = node[slot]
+            if nxt is not None and nxt[0] < key:
                 node = nxt
             else:
                 if prev is not None:
-                    prev[level] = node
-                if level == 0:
+                    prev[slot - _NEXT0] = node
+                if slot == _NEXT0:
                     return nxt
-                level -= 1
+                slot -= 1
 
     def insert(self, key: Any, value: Any) -> None:
         """Insert ``key`` -> ``value``; raises on duplicate key."""
-        prev: List[_Node] = [self._head] * _MAX_HEIGHT
+        prev = self._prev
         node = self._find_greater_or_equal(key, prev)
-        if node is not None and node.key == key:
+        if node is not None and node[0] == key:
             raise KeyError(f"duplicate key: {key!r}")
         height = self._random_height()
         if height > self._height:
+            head = self._head
             for level in range(self._height, height):
-                prev[level] = self._head
+                prev[level] = head
             self._height = height
-        new_node = _Node(key, value, height)
+        new_node = [key, value]
+        append = new_node.append
         for level in range(height):
-            new_node.next[level] = prev[level].next[level]
-            prev[level].next[level] = new_node
+            before = prev[level]
+            slot = level + _NEXT0
+            append(before[slot])
+            before[slot] = new_node
         self._size += 1
 
     def seek(self, key: Any) -> Optional[Tuple[Any, Any]]:
         """First entry with ``entry_key >= key``, or None."""
         node = self._find_greater_or_equal(key)
-        return (node.key, node.value) if node is not None else None
+        return (node[0], node[1]) if node is not None else None
 
     def get(self, key: Any) -> Optional[Any]:
         """Exact-match lookup."""
         node = self._find_greater_or_equal(key)
-        if node is not None and node.key == key:
-            return node.value
+        if node is not None and node[0] == key:
+            return node[1]
         return None
 
     def __contains__(self, key: Any) -> bool:
         node = self._find_greater_or_equal(key)
-        return node is not None and node.key == key
+        return node is not None and node[0] == key
 
     def __iter__(self) -> Iterator[Tuple[Any, Any]]:
-        node = self._head.next[0]
+        node = self._head[_NEXT0]
         while node is not None:
-            yield node.key, node.value
-            node = node.next[0]
+            yield node[0], node[1]
+            node = node[_NEXT0]
 
     def iter_from(self, key: Any) -> Iterator[Tuple[Any, Any]]:
         """Iterate entries with ``entry_key >= key`` in sorted order."""
         node = self._find_greater_or_equal(key)
         while node is not None:
-            yield node.key, node.value
-            node = node.next[0]
+            yield node[0], node[1]
+            node = node[_NEXT0]

@@ -15,8 +15,9 @@ unsynced write, and every structure is real bytes in SimFS.
 from __future__ import annotations
 
 import bisect
+import struct
 from dataclasses import dataclass
-from typing import Any, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..sim import CpuMeter, Event
 from ..storage import FileHandle
@@ -44,6 +45,16 @@ FOOTER_SIZE = 8 * 6 + 4
 #: (user_key, sequence, value_type, value)
 Entry = Tuple[bytes, int, int, bytes]
 
+_SEQ = struct.Struct("<Q")
+#: ``count || crc`` block trailer — packed/unpacked in one struct call
+#: (byte-identical to the two fixed32 writes it replaces).
+_TRAILER = struct.Struct("<II")
+
+#: ``(klen, vlen, value_type, per_record_overhead) -> (header_prefix, pad)``.
+#: Entry headers repeat massively within a workload (fixed key/value
+#: sizes), so the varint/type prefix and the zero pad are built once.
+_HEADER_CACHE: Dict[Tuple[int, int, int, int], Tuple[bytes, bytes]] = {}
+
 
 @dataclass(frozen=True)
 class TableInfo:
@@ -60,39 +71,83 @@ class TableInfo:
 
 def _encode_entry(fmt: TableFormat, user_key: bytes, seq: int,
                   value_type: int, value: bytes) -> bytes:
-    header = (encode_varint(len(user_key)) + encode_varint(len(value))
-              + bytes([value_type]) + encode_fixed64(seq))
-    pad = fmt.per_record_overhead - len(header)
-    if pad < 0:
-        pad = 0
-    return header + user_key + value + b"\x00" * pad
+    cache_key = (len(user_key), len(value), value_type, fmt.per_record_overhead)
+    cached = _HEADER_CACHE.get(cache_key)
+    if cached is None:
+        prefix = (encode_varint(len(user_key)) + encode_varint(len(value))
+                  + bytes([value_type]))
+        pad = fmt.per_record_overhead - (len(prefix) + 8)
+        if pad < 0:
+            pad = 0
+        cached = (prefix, b"\x00" * pad)
+        _HEADER_CACHE[cache_key] = cached
+    prefix, pad_bytes = cached
+    return prefix + _SEQ.pack(seq) + user_key + value + pad_bytes
 
 
 def _decode_entries(fmt: TableFormat, data: bytes) -> List[Entry]:
+    if not isinstance(data, bytes):
+        data = bytes(data)  # so fast-path slices are bytes, not views
     entries: List[Entry] = []
+    append = entries.append
+    varint = decode_varint
+    unpack_seq = _SEQ.unpack_from
+    overhead = fmt.per_record_overhead
     pos = 0
     end = len(data)
+    # Stride fast path: runs of entries sharing one header prefix
+    # (klen || vlen || type) — the common case, since a workload writes
+    # fixed-size keys and values — are sliced at fixed offsets after a
+    # single prefix comparison, skipping the varint state machine.
+    run_prefix = b""
+    run_klen = run_vlen = run_type = run_skip = 0
     while pos < end:
+        if run_prefix and data.startswith(run_prefix, pos):
+            hpos = pos + len(run_prefix)
+            kstart = hpos + 8
+            vstart = kstart + run_klen
+            vend = vstart + run_vlen
+            nxt = vend + run_skip
+            if nxt <= end:
+                append((data[kstart:vstart], unpack_seq(data, hpos)[0],
+                        run_type, data[vstart:vend]))
+                pos = nxt
+                continue
         start = pos
-        klen, pos = decode_varint(data, pos)
-        vlen, pos = decode_varint(data, pos)
+        # Single-byte varint fast path: header lengths under 128 cover
+        # every table format the repo ships.
+        klen = data[pos]
+        if klen < 0x80:
+            pos += 1
+        else:
+            klen, pos = varint(data, pos)
+        if pos < end and data[pos] < 0x80:
+            vlen = data[pos]
+            pos += 1
+        else:
+            vlen, pos = varint(data, pos)
         if pos >= end:
             raise CorruptionError("truncated entry header")
         value_type = data[pos]
         pos += 1
-        seq = decode_fixed64(data, pos)
+        if pos + 8 > end:
+            raise CorruptionError("truncated fixed64")
+        seq = unpack_seq(data, pos)[0]
         pos += 8
         header_len = pos - start
         key = bytes(data[pos:pos + klen])
         pos += klen
         value = bytes(data[pos:pos + vlen])
         pos += vlen
-        pad = fmt.per_record_overhead - header_len
+        pad = overhead - header_len
         if pad > 0:
             pos += pad
         if pos > end:
             raise CorruptionError("truncated entry body")
-        entries.append((key, seq, value_type, value))
+        append((key, seq, value_type, value))
+        run_prefix = bytes(data[start:start + header_len - 8])
+        run_klen, run_vlen, run_type = klen, vlen, value_type
+        run_skip = pad if pad > 0 else 0
     return entries
 
 
@@ -111,9 +166,8 @@ class DataBlock:
         """Parse and CRC-check an encoded block."""
         if len(raw) < 8:
             raise CorruptionError("block too short")
-        payload, trailer = raw[:-8], raw[-8:]
-        count = decode_fixed32(trailer, 0)
-        stored_crc = decode_fixed32(trailer, 4)
+        payload = raw[:-8]
+        count, stored_crc = _TRAILER.unpack_from(raw, len(raw) - 8)
         if crc32(payload) != stored_crc:
             raise CorruptionError("block checksum mismatch")
         entries = _decode_entries(fmt, payload)
@@ -135,7 +189,7 @@ class DataBlock:
 
 
 def _encode_block(payload: bytes, count: int) -> bytes:
-    return payload + encode_fixed32(count) + encode_fixed32(crc32(payload))
+    return payload + _TRAILER.pack(count, crc32(payload))
 
 
 class SSTableBuilder:
@@ -264,9 +318,9 @@ class SSTableBuilder:
 def _decode_index(raw: bytes, fmt: TableFormat) -> List[Tuple[bytes, int, int]]:
     if len(raw) < 8:
         raise CorruptionError("index block too short")
-    payload, trailer = raw[:-8], raw[-8:]
-    count = decode_fixed32(trailer, 0)
-    if crc32(payload) != decode_fixed32(trailer, 4):
+    payload = raw[:-8]
+    count, stored_crc = _TRAILER.unpack_from(raw, len(raw) - 8)
+    if crc32(payload) != stored_crc:
         raise CorruptionError("index block checksum mismatch")
     entries: List[Tuple[bytes, int, int]] = []
     pos = 0

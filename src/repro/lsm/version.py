@@ -17,9 +17,15 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 __all__ = ["FileMetaData", "Version"]
 
 
-@dataclass
+@dataclass(eq=False)
 class FileMetaData:
-    """Metadata for one (logical) SSTable."""
+    """Metadata for one (logical) SSTable.
+
+    Identity equality (``eq=False``): a table is one object shared by
+    every :class:`Version` that references it, and hot paths
+    (``overlapping_files``) do membership tests that must not pay a
+    field-by-field dataclass compare per probe.
+    """
 
     number: int
     container: str
@@ -56,6 +62,12 @@ class Version:
 
     def __init__(self, num_levels: int):
         self.files: List[List[FileMetaData]] = [[] for _ in range(num_levels)]
+        #: Per-level lazy cache of ``[f.largest for f in files[level]]``.
+        self._largest_cache: List[Optional[List[bytes]]] = [None] * num_levels
+        #: Per-level byte totals, maintained incrementally — compaction
+        #: scoring reads these on every write, so summing the level's
+        #: file list each time is quadratic in practice.
+        self._level_bytes: List[int] = [0] * num_levels
         #: Table numbers quarantined by the corruption path: still
         #: referenced (so recovery knows the bytes are suspect, not
         #: merely deleted) but excluded from reads, which fail fast with
@@ -71,6 +83,7 @@ class Version:
         """An independent copy of this version's per-level file lists."""
         version = Version(self.num_levels)
         version.files = [list(level) for level in self.files]
+        version._level_bytes = list(self._level_bytes)
         version.quarantined = set(self.quarantined)
         return version
 
@@ -84,11 +97,11 @@ class Version:
 
     def level_bytes(self, level: int) -> int:
         """Total table bytes at ``level``."""
-        return sum(f.length for f in self.files[level])
+        return self._level_bytes[level]
 
     def total_bytes(self) -> int:
         """Total table bytes across all levels."""
-        return sum(self.level_bytes(level) for level in range(self.num_levels))
+        return sum(self._level_bytes)
 
     def total_files(self) -> int:
         """Total table count across all levels."""
@@ -111,12 +124,23 @@ class Version:
     def add_file(self, level: int, meta: FileMetaData) -> None:
         """Insert ``meta`` at ``level``, keeping the level sorted."""
         files = self.files[level]
+        self._largest_cache[level] = None
+        self._level_bytes[level] += meta.length
         if level == 0:
             files.append(meta)
             files.sort(key=lambda f: f.number)
         else:
-            index = bisect.bisect_left([f.smallest for f in files], meta.smallest)
-            files.insert(index, meta)
+            # Manual bisect on the smallest key: O(log n) compares
+            # without materializing a key list per insert.
+            lo, hi = 0, len(files)
+            smallest = meta.smallest
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if files[mid].smallest < smallest:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            files.insert(lo, meta)
 
     def remove_file(self, level: int, number: int) -> bool:
         """Remove table ``number`` from ``level``; True if it was present."""
@@ -124,6 +148,8 @@ class Version:
         for index, meta in enumerate(files):
             if meta.number == number:
                 del files[index]
+                self._largest_cache[level] = None
+                self._level_bytes[level] -= meta.length
                 return True
         return False
 
@@ -141,10 +167,23 @@ class Version:
             hits = [f for f in files if f.smallest <= user_key <= f.largest]
             hits.sort(key=lambda f: f.number, reverse=True)
             return hits
-        index = bisect.bisect_left([f.largest for f in files], user_key)
+        index = bisect.bisect_left(self._largest_keys(level), user_key)
         if index < len(files) and files[index].smallest <= user_key:
             return [files[index]]
         return []
+
+    def _largest_keys(self, level: int) -> List[bytes]:
+        """Cached parallel array of each table's largest key at ``level``.
+
+        Rebuilt lazily after :meth:`add_file`/:meth:`remove_file`
+        invalidate it; read paths bisect this array instead of
+        materializing it per lookup.
+        """
+        cached = self._largest_cache[level]
+        if cached is None:
+            cached = [f.largest for f in self.files[level]]
+            self._largest_cache[level] = cached
+        return cached
 
     def overlapping_files(self, level: int, smallest: Optional[bytes],
                           largest: Optional[bytes]) -> List[FileMetaData]:
@@ -154,17 +193,23 @@ class Version:
         an overlapping L0 table may widen the range and pull in more L0
         tables.
         """
-        files = list(self.files[level])
-        result: List[FileMetaData] = []
+        files = self.files[level]
         if level == 0:
+            result: List[FileMetaData] = []
+            taken: set = set()  # ids, so probes never pay a field compare
             lo, hi = smallest, largest
             changed = True
             while changed:
                 changed = False
                 for meta in files:
-                    if meta in result or not meta.overlaps(lo, hi):
+                    if id(meta) in taken:
+                        continue
+                    if lo is not None and meta.largest < lo:
+                        continue
+                    if hi is not None and meta.smallest > hi:
                         continue
                     result.append(meta)
+                    taken.add(id(meta))
                     if lo is None or meta.smallest < lo:
                         lo = meta.smallest
                         changed = True
@@ -173,7 +218,17 @@ class Version:
                         changed = True
             result.sort(key=lambda f: f.number)
             return result
-        return [f for f in files if f.overlaps(smallest, largest)]
+        # Levels >= 1: a plain scan with the range checks inlined.  (No
+        # bisect here: PebblesDB levels hold overlapping tables, so the
+        # "overlap set is one contiguous slice" shortcut would be wrong.)
+        if smallest is None and largest is None:
+            return list(files)
+        if smallest is None:
+            return [f for f in files if f.smallest <= largest]
+        if largest is None:
+            return [f for f in files if f.largest >= smallest]
+        return [f for f in files
+                if f.largest >= smallest and f.smallest <= largest]
 
     def check_invariants(self) -> None:
         """Assert levels >= 1 are sorted and disjoint (test helper)."""

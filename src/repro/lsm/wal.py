@@ -12,6 +12,7 @@ amortize WAL/sync costs by batching operations into one record).
 
 from __future__ import annotations
 
+import struct
 from typing import Iterator, List, Optional, Tuple
 
 from ..sim import CpuMeter
@@ -20,11 +21,9 @@ from .codec import (
     VALUE_TYPE_DELETION,
     VALUE_TYPE_VALUE,
     crc32,
-    decode_fixed32,
     decode_fixed64,
     decode_length_prefixed,
     decode_varint,
-    encode_fixed32,
     encode_fixed64,
     encode_length_prefixed,
     encode_varint,
@@ -33,6 +32,9 @@ from .codec import (
 __all__ = ["LogWriter", "read_log_records", "WriteBatch"]
 
 _HEADER = 8
+#: ``len || crc`` record header in one struct call (byte-identical to
+#: the two fixed32 writes it replaces).
+_FRAME = struct.Struct("<II")
 
 
 class WriteBatch:
@@ -109,7 +111,7 @@ class LogWriter:
 
     def append(self, payload: bytes, meter: Optional[CpuMeter] = None) -> None:
         """Frame ``payload`` with length + CRC and write it to the log file."""
-        frame = encode_fixed32(len(payload)) + encode_fixed32(crc32(payload)) + payload
+        frame = _FRAME.pack(len(payload), crc32(payload)) + payload
         self.handle.append(frame, meter)
         self.records_written += 1
 
@@ -118,8 +120,7 @@ def read_log_records(data: bytes) -> Iterator[bytes]:
     """Yield intact records; stop silently at the first corrupt one."""
     pos = 0
     while pos + _HEADER <= len(data):
-        length = decode_fixed32(data, pos)
-        stored_crc = decode_fixed32(data, pos + 4)
+        length, stored_crc = _FRAME.unpack_from(data, pos)
         if length == 0:
             return  # zero-filled (lost) page, not a valid record
         start = pos + _HEADER

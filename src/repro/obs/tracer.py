@@ -51,6 +51,7 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "NULL_SPAN",
 ]
 
 
@@ -216,6 +217,12 @@ class _NullSpan:
 
 
 _NULL_SPAN = _NullSpan()
+
+#: Public no-op span context, for ``tracer.enabled`` guards at hot call
+#: sites that want to skip even keyword-argument construction when
+#: tracing is off (``span_ctx = tracer.span(..) if tracer.enabled else
+#: NULL_SPAN``).
+NULL_SPAN = _NULL_SPAN
 
 
 class NullTracer:

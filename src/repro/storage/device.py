@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
+from ..obs.tracer import NULL_SPAN
 from ..sim import Environment, Event, Resource
 
 __all__ = ["DeviceProfile", "DeviceStats", "BlockDevice", "DeviceError",
@@ -240,7 +241,10 @@ class BlockDevice:
             duration += p.rand_read_latency  # seek-equivalent penalty
         self.stats.num_writes += 1
         self.stats.bytes_written += nbytes
-        with self.env.tracer.span("dev.write", cat="device", bytes=nbytes):
+        tracer = self.env.tracer
+        span_ctx = (tracer.span("dev.write", cat="device", bytes=nbytes)
+                    if tracer.enabled else NULL_SPAN)
+        with span_ctx:
             yield from self._service("write", duration)
 
     def read(self, nbytes: int, sequential: bool = False) -> Generator[Event, Any, None]:
@@ -253,8 +257,11 @@ class BlockDevice:
             duration += p.rand_read_latency
         self.stats.num_reads += 1
         self.stats.bytes_read += nbytes
-        with self.env.tracer.span("dev.read", cat="device", bytes=nbytes,
-                                  sequential=sequential):
+        tracer = self.env.tracer
+        span_ctx = (tracer.span("dev.read", cat="device", bytes=nbytes,
+                                sequential=sequential)
+                    if tracer.enabled else NULL_SPAN)
+        with span_ctx:
             yield from self._service("read", duration)
 
     def barrier(self, dirty_bytes: int = 0) -> Generator[Event, Any, None]:
@@ -264,8 +271,11 @@ class BlockDevice:
         bytes sequentially, then pays the FLUSH latency.
         """
         p = self.profile
-        with self.env.tracer.span("dev.barrier", cat="device",
-                                  dirty_bytes=dirty_bytes):
+        tracer = self.env.tracer
+        span_ctx = (tracer.span("dev.barrier", cat="device",
+                                dirty_bytes=dirty_bytes)
+                    if tracer.enabled else NULL_SPAN)
+        with span_ctx:
             yield from self._drain_all()
             try:
                 duration = p.barrier_latency

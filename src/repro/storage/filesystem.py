@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Generator, List, Optional, Set
 
+from ..obs.tracer import NULL_SPAN
 from ..sim import CpuMeter, Environment, Event
 from .device import BlockDevice
 from .page_cache import PAGE_SIZE, PageCache
@@ -218,6 +219,12 @@ class SimFS:
                                else device.profile.capacity_bytes)
         self.stats = FSStats()
         self._files: Dict[str, _SimFile] = {}
+        #: Files that may hold barrier-submitted pages, so a FLUSH scans
+        #: only them instead of every file in the namespace.  A dict
+        #: (not a set) for deterministic insertion-order iteration; a
+        #: stale entry (pages re-dirtied since submission) is harmless —
+        #: the flush loop re-checks ``submitted`` per file.
+        self._submitted_files: Dict[_SimFile, None] = {}
         self._next_id = 1
         #: Global write-ordering epoch: bumped by every barrier, so the
         #: device (one queue) can persist pages in epoch order.  Pages
@@ -432,8 +439,11 @@ class SimFS:
         """Flush the file's dirty pages and issue a device barrier."""
         self.stats.num_fsync += 1
         file = handle._file
-        with self.env.tracer.span("fsync", cat="barrier", file=file.name,
-                                  dirty_pages=len(file.dirty)):
+        tracer = self.env.tracer
+        span_ctx = (tracer.span("fsync", cat="barrier", file=file.name,
+                                dirty_pages=len(file.dirty))
+                    if tracer.enabled else NULL_SPAN)
+        with span_ctx:
             yield from self._sync(file)
         self.fault_site("fs.barrier", file=file.name)
 
@@ -441,8 +451,11 @@ class SimFS:
         """Like :meth:`fsync`; metadata laziness is not distinguished."""
         self.stats.num_fdatasync += 1
         file = handle._file
-        with self.env.tracer.span("fdatasync", cat="barrier", file=file.name,
-                                  dirty_pages=len(file.dirty)):
+        tracer = self.env.tracer
+        span_ctx = (tracer.span("fdatasync", cat="barrier", file=file.name,
+                                dirty_pages=len(file.dirty))
+                    if tracer.enabled else NULL_SPAN)
+        with span_ctx:
             yield from self._sync(file)
         self.fault_site("fs.barrier", file=file.name)
 
@@ -460,11 +473,16 @@ class SimFS:
         file = handle._file
         pending = [page for page in file.dirty if page not in file.submitted]
         file.submitted.update(pending)
+        if pending:
+            self._submitted_files[file] = None
         self.epoch += 1
         if self.env.sanitizer.enabled:
             self.env.sanitizer.barrier("fdatabarrier")
-        with self.env.tracer.span("fdatabarrier", cat="ordering",
-                                  file=file.name, pages=len(pending)):
+        tracer = self.env.tracer
+        span_ctx = (tracer.span("fdatabarrier", cat="ordering",
+                                file=file.name, pages=len(pending))
+                    if tracer.enabled else NULL_SPAN)
+        with span_ctx:
             if pending:
                 # Background dispatch: occupies the device, counts the bytes.
                 self.env.process(
@@ -485,13 +503,15 @@ class SimFS:
             self.env.sanitizer.barrier("fsync")
         # A FLUSH drains the whole device cache: every page previously
         # dispatched by an ordering barrier is durable now too.
-        for other in self._files.values():
-            if other.submitted:
-                for page in other.submitted:
-                    other.dirty.pop(page, None)
-                    other.dirty_epoch.pop(page, None)
-                other.submitted.clear()
-                other.durable_size = other.size
+        if self._submitted_files:
+            for other in self._submitted_files:
+                if other.submitted:
+                    for page in other.submitted:
+                        other.dirty.pop(page, None)
+                        other.dirty_epoch.pop(page, None)
+                    other.submitted.clear()
+                    other.durable_size = other.size
+            self._submitted_files.clear()
 
     def punch_hole(self, handle: FileHandle, offset: int, length: int) -> None:
         """Deallocate whole pages inside ``[offset, offset+length)``.
@@ -617,6 +637,7 @@ class SimFS:
             file.dirty_epoch.clear()
             file.submitted.clear()
             file.durable_size = file.size
+        self._submitted_files.clear()
         if self.page_cache is not None:
             self.page_cache.drop_all()
 

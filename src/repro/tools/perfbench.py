@@ -1,0 +1,321 @@
+"""perfbench: seeded wall-clock microbenchmarks for the simulator's fast paths.
+
+Where :mod:`repro.tools.dbbench` reports **virtual** time (the modelled
+device), this tool reports **wall-clock** time: how fast the simulator
+itself runs on the host.  It pins the hot paths that
+``docs/PERFORMANCE.md`` documents — kernel event churn, SSTable block
+encode/decode, skiplist insert/seek, histogram recording, and an
+end-to-end YCSB-A suite slice — so a regression in any of them shows up
+as a number, not as a mysteriously slower CI run.
+
+Usage::
+
+    python -m repro.tools.perfbench --json BENCH_perf.json
+    python -m repro.tools.perfbench --digest            # fingerprints only
+    python -m repro.tools.perfbench --assert-floor BENCH_perf.json
+
+Every benchmark is seeded and returns, besides its wall-clock seconds, a
+**fingerprint**: a sha256 over the benchmark's complete observable
+output (event orders, decoded entries, histogram state, suite metrics).
+Fingerprints are a pure function of the code — they must be
+byte-identical run over run and machine over machine, which is how CI
+verifies that performance work never changes simulation results
+(``--digest`` twice, ``diff``).  Wall-clock seconds naturally vary; the
+``--assert-floor`` gate therefore only fails when the *slowest*
+benchmark of the committed baseline regresses by more than
+``--tolerance`` (default 20%), while fingerprints must always match.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["main", "run_benchmarks", "BENCHMARKS"]
+
+#: Benchmark registry, filled by :func:`_benchmark` below.
+BENCHMARKS: Dict[str, Callable[[], Tuple[float, str]]] = {}
+
+
+def _fingerprint(obj: Any) -> str:
+    """sha256 over a canonical JSON encoding of ``obj``."""
+    blob = json.dumps(obj, sort_keys=True, default=repr).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _benchmark(func: Callable[[], Tuple[float, str]]) -> Callable[[], Tuple[float, str]]:
+    """Register ``func`` under its name (sans ``bench_`` prefix)."""
+    BENCHMARKS[func.__name__.replace("bench_", "", 1)] = func
+    return func
+
+
+# Each benchmark measures *host* wall-clock time around simulator work;
+# that is this tool's entire purpose, so the SIM001 wall-clock rule is
+# waived at each read site with that justification.
+
+
+@_benchmark
+def bench_kernel() -> Tuple[float, str]:
+    """Event churn: 30k processes through timeouts, callbacks, call_later."""
+    from ..sim import Environment
+    env = Environment()
+    log: List[int] = []
+
+    def worker(i: int):
+        """One churn process: two timeouts around a same-tick callback."""
+        yield env.timeout(0.001 * (i % 7))
+        env.call_later(0.0, lambda: log.append(i))
+        yield env.timeout(0.001)
+
+    for i in range(30_000):
+        env.process(worker(i))
+    started = time.perf_counter()  # simcheck: waive[SIM001] host-time harness
+    env.run()
+    elapsed = time.perf_counter() - started  # simcheck: waive[SIM001] host-time harness
+    digest = _fingerprint({"now": env.now, "order": log})
+    return elapsed, digest
+
+
+@_benchmark
+def bench_codec() -> Tuple[float, str]:
+    """Block encode + decode: 2000 decodes of a 200-entry data block."""
+    import random
+
+    from ..core import bolt_options
+    from ..lsm.sstable import DataBlock, _encode_block, _encode_entry
+
+    fmt = bolt_options(1024).table_format
+    rng = random.Random(7)
+    payload = bytearray()
+    for i in range(200):
+        payload.extend(_encode_entry(
+            fmt, b"user%019d" % rng.randrange(10 ** 18), i + 1, 1, bytes(100)))
+    raw = _encode_block(bytes(payload), 200)
+    started = time.perf_counter()  # simcheck: waive[SIM001] host-time harness
+    for _ in range(2000):
+        block = DataBlock.decode(fmt, raw)
+    elapsed = time.perf_counter() - started  # simcheck: waive[SIM001] host-time harness
+    digest = _fingerprint({"raw": raw.hex(), "entries": block.entries})
+    return elapsed, digest
+
+
+@_benchmark
+def bench_skiplist() -> Tuple[float, str]:
+    """Skiplist: 40k seeded inserts plus a seek sweep."""
+    from ..lsm.skiplist import SkipList
+    sl = SkipList(seed=11)
+    keys = [(b"user%019d" % ((i * 2654435761) % 10 ** 18), i)
+            for i in range(40_000)]
+    started = time.perf_counter()  # simcheck: waive[SIM001] host-time harness
+    for key in keys:
+        sl.insert(key, b"v")
+    seeks = [sl.seek(key) for key in keys[::7]]
+    elapsed = time.perf_counter() - started  # simcheck: waive[SIM001] host-time harness
+    first = next(iter(sl))
+    digest = _fingerprint({"size": len(sl), "first": first,
+                           "seeks": seeks[:64], "nseeks": len(seeks)})
+    return elapsed, digest
+
+
+@_benchmark
+def bench_histogram() -> Tuple[float, str]:
+    """Histogram: 300k seeded latency samples through record_all."""
+    import random
+
+    from ..bench.histogram import LatencyHistogram
+    hist = LatencyHistogram()
+    rng = random.Random(3)
+    samples = [rng.random() * 0.01 for _ in range(300_000)]
+    started = time.perf_counter()  # simcheck: waive[SIM001] host-time harness
+    hist.record_all(samples)
+    elapsed = time.perf_counter() - started  # simcheck: waive[SIM001] host-time harness
+    digest = _fingerprint({
+        "count": len(hist), "mean": hist.mean, "min": hist.min,
+        "max": hist.max, "p50": hist.percentile(50.0),
+        "p99": hist.percentile(99.0), "p999": hist.percentile(99.9),
+    })
+    return elapsed, digest
+
+
+@_benchmark
+def bench_ycsb_a() -> Tuple[float, str]:
+    """End-to-end: a small YCSB load_a + A/B/D suite on the BoLT engine."""
+    from ..bench import BenchConfig, SYSTEMS, run_suite
+    config = BenchConfig(record_count=4000, ops_per_phase=1500)
+    started = time.perf_counter()  # simcheck: waive[SIM001] host-time harness
+    results = run_suite(SYSTEMS["bolt"], config,
+                        workloads=("load_a", "a", "b", "d"))
+    elapsed = time.perf_counter() - started  # simcheck: waive[SIM001] host-time harness
+    rows = {}
+    for phase, res in results.items():
+        rows[phase] = {
+            "ops": res.operations, "elapsed": res.elapsed,
+            "fsync": res.fsync_calls, "bytes_written": res.bytes_written,
+            "bytes_read": res.bytes_read, "stall": res.stall_time,
+            "compactions": res.compactions,
+            "p99": res.latencies.percentile(99.0),
+            "mean": res.latencies.mean(),
+        }
+    return elapsed, _fingerprint(rows)
+
+
+def calibrate(repeat: int = 3) -> float:
+    """Wall-clock seconds for a fixed pure-Python spin loop (best-of).
+
+    A committed ``BENCH_perf.json`` records the baseline machine's
+    calibration; :func:`_assert_floor` scales its floor by the ratio of
+    the two calibrations, so the gate compares *simulator* speed rather
+    than host speed.  The loop shape (integer LCG) is deliberately dull:
+    no allocation, no C-library leverage, just interpreter dispatch —
+    the same resource the simulator burns.
+    """
+    best: Optional[float] = None
+    for _ in range(max(1, repeat)):
+        started = time.perf_counter()  # simcheck: waive[SIM001] host-time harness
+        x = 1
+        for _ in range(2_000_000):
+            x = (x * 1103515245 + 12345) & 0xFFFFFFFF
+        elapsed = time.perf_counter() - started  # simcheck: waive[SIM001] host-time harness
+        if best is None or elapsed < best:
+            best = elapsed
+    return round(best, 4)
+
+
+def run_benchmarks(names: List[str], repeat: int = 3,
+                   out=print) -> Dict[str, Dict[str, Any]]:
+    """Run ``names`` ``repeat`` times each; best-of wall time per benchmark.
+
+    Returns ``{name: {"seconds": float, "fingerprint": str}}``.  The
+    fingerprint must be identical across repeats — a mismatch means the
+    benchmark (and so possibly the simulator) is nondeterministic, which
+    is reported and fails the run.
+    """
+    results: Dict[str, Dict[str, Any]] = {}
+    for name in names:
+        func = BENCHMARKS[name]
+        best: Optional[float] = None
+        fingerprint: Optional[str] = None
+        for _ in range(max(1, repeat)):
+            seconds, digest = func()
+            if fingerprint is None:
+                fingerprint = digest
+            elif digest != fingerprint:
+                raise SystemExit(
+                    f"perfbench: {name} fingerprint changed between repeats "
+                    f"({fingerprint[:12]} vs {digest[:12]}): "
+                    f"nondeterministic benchmark")
+            if best is None or seconds < best:
+                best = seconds
+        results[name] = {"seconds": round(best, 4), "fingerprint": fingerprint}
+        out(f"{name:12s} : {best:8.4f} s   {fingerprint[:16]}")
+    return results
+
+
+def _assert_floor(results: Dict[str, Dict[str, Any]], baseline_path: str,
+                  tolerance: float, calibration: float, out=print) -> None:
+    """Fail if fingerprints drift or the slowest baseline benchmark regresses.
+
+    All fingerprints must match the committed baseline exactly (results
+    are a pure function of the code).  Wall-clock time is gated only on
+    the benchmark with the largest baseline ``seconds`` — the one whose
+    regression would actually move tier-1 suite time — scaled by the
+    host-speed calibration ratio, and only beyond ``tolerance``
+    (CI machines are noisy; small deltas are meaningless).
+    """
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    base_rows = baseline.get("benchmarks", baseline)
+    failures: List[str] = []
+    for name, row in sorted(base_rows.items()):
+        current = results.get(name)
+        if current is None:
+            failures.append(f"{name}: missing from this run")
+            continue
+        if current["fingerprint"] != row["fingerprint"]:
+            failures.append(
+                f"{name}: fingerprint {current['fingerprint'][:12]} != "
+                f"baseline {row['fingerprint'][:12]} (results changed)")
+    slowest = max(base_rows, key=lambda name: base_rows[name]["seconds"])
+    if slowest in results:
+        base_calibration = baseline.get("calibration_seconds") or calibration
+        scale = calibration / base_calibration if base_calibration else 1.0
+        limit = base_rows[slowest]["seconds"] * scale * (1.0 + tolerance)
+        seconds = results[slowest]["seconds"]
+        if seconds > limit:
+            failures.append(
+                f"{slowest}: {seconds:.4f} s exceeds floor {limit:.4f} s "
+                f"(baseline {base_rows[slowest]['seconds']:.4f} s x "
+                f"host scale {scale:.2f} + {tolerance:.0%})")
+        else:
+            out(f"floor ok: {slowest} {seconds:.4f} s <= {limit:.4f} s "
+                f"(host scale {scale:.2f})")
+    if failures:
+        for failure in failures:
+            out(f"perfbench FAIL: {failure}")
+        raise SystemExit(1)
+    out("perfbench: floor + fingerprints ok")
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.perfbench",
+        description="seeded wall-clock benchmarks of the simulator fast paths")
+    parser.add_argument("--benchmarks", default=",".join(BENCHMARKS),
+                        help="comma-separated subset (default: all: %s)"
+                             % ",".join(BENCHMARKS))
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="runs per benchmark, best-of (default 3)")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="write {schema, benchmarks} JSON to FILE")
+    parser.add_argument("--digest", action="store_true",
+                        help="print only {name: fingerprint} JSON on stdout "
+                             "(byte-identical across runs; for CI diffing)")
+    parser.add_argument("--assert-floor", metavar="FILE", default=None,
+                        help="compare against a committed BENCH_perf.json: "
+                             "fail on fingerprint drift or if the slowest "
+                             "baseline benchmark regresses beyond --tolerance")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed wall-clock regression for "
+                             "--assert-floor (default 0.20 = 20%%)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> Dict[str, Dict[str, Any]]:
+    """CLI entry point: run the requested benchmarks and gates."""
+    args = _parser().parse_args(argv)
+    names = [name.strip() for name in args.benchmarks.split(",") if name.strip()]
+    for name in names:
+        if name not in BENCHMARKS:
+            raise SystemExit(f"unknown benchmark {name!r} "
+                             f"(choose from {', '.join(BENCHMARKS)})")
+    quiet = args.digest
+    out = (lambda *a, **k: None) if quiet else print
+    repeat = 1 if args.digest else args.repeat
+    results = run_benchmarks(names, repeat=repeat, out=out)
+    if args.digest:
+        digests = {name: row["fingerprint"] for name, row in results.items()}
+        json.dump(digests, sys.stdout, indent=1, sort_keys=True)
+        sys.stdout.write("\n")
+        return results
+    calibration = calibrate(repeat=args.repeat)
+    out(f"{'calibration':12s} : {calibration:8.4f} s   (host spin loop)")
+    if args.json:
+        payload = {"schema": "perfbench-v1",
+                   "calibration_seconds": calibration,
+                   "benchmarks": results}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        out(f"wrote {args.json}")
+    if args.assert_floor:
+        _assert_floor(results, args.assert_floor, args.tolerance,
+                      calibration, out=out)
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -34,6 +34,13 @@ KEY_SIZE = 23
 ZIPFIAN_CONSTANT = 0.99
 
 
+#: Key-construction memo: zipfian workloads hit a small set of popular
+#: key numbers millions of times, and the hash + decimal formatting are
+#: pure functions of ``(keynum, hashed)``.  Bounded by wholesale clear.
+_KEY_CACHE: dict = {}
+_KEY_CACHE_LIMIT = 1 << 20
+
+
 def fnv_hash64(value: int) -> int:
     """FNV-1a over the 8 little-endian bytes of ``value`` (YCSB's hash)."""
     h = _FNV_OFFSET
@@ -47,9 +54,16 @@ def fnv_hash64(value: int) -> int:
 
 def build_key(keynum: int, hashed: bool = True) -> bytes:
     """The YCSB record key for logical key number ``keynum``."""
-    if hashed:
-        keynum = fnv_hash64(keynum)
-    return b"user%019d" % (keynum % (10 ** 19))
+    cache_key = (keynum, hashed)
+    key = _KEY_CACHE.get(cache_key)
+    if key is None:
+        if hashed:
+            keynum = fnv_hash64(keynum)
+        key = b"user%019d" % (keynum % (10 ** 19))
+        if len(_KEY_CACHE) >= _KEY_CACHE_LIMIT:
+            _KEY_CACHE.clear()
+        _KEY_CACHE[cache_key] = key
+    return key
 
 
 def _require_rng(rng: Optional[random.Random]) -> random.Random:

@@ -98,3 +98,113 @@ class TestRender:
         text = hist.render(width=20)
         assert "count=110" in text
         assert "#" in text
+
+
+def _reference_bucket_of(hist, latency):
+    """The pre-rewrite log10 bucketing formula, verbatim.
+
+    The fast-path rewrite (precomputed bounds + bisect) must agree with
+    this for every float, including exact bucket-boundary values.
+    """
+    import math
+    if latency <= hist.min_latency:
+        return 0
+    if latency >= hist.max_latency:
+        return hist._num_buckets - 1
+    position = (math.log10(latency / hist.min_latency)
+                * hist.buckets_per_decade)
+    return min(hist._num_buckets - 2, int(position) + 1)
+
+
+class TestInsertPathEdgeCases:
+    """Lock bucket assignment and summary stats against current outputs."""
+
+    def test_empty_histogram_percentiles(self):
+        hist = LatencyHistogram()
+        for p in (0, 50, 99, 99.9, 100):
+            assert hist.percentile(p) == 0.0
+        assert hist.mean == 0.0
+        assert hist.min == 0.0
+        assert hist.max == 0.0
+        assert hist.cdf() == [(50, 0.0), (90, 0.0), (99, 0.0), (99.9, 0.0)]
+
+    def test_single_sample_every_percentile_is_its_bucket(self):
+        hist = LatencyHistogram()
+        hist.record(3.3e-4)
+        values = {hist.percentile(p) for p in (0.1, 25, 50, 75, 99.9, 100)}
+        assert len(values) == 1
+        assert values.pop() == 3.3e-4  # capped at the recorded max
+
+    def test_bucket_boundary_values_match_log_formula(self):
+        hist = LatencyHistogram(min_latency=1e-6, max_latency=10.0,
+                                buckets_per_decade=10)
+        import math
+        boundaries = [hist.min_latency * 10 ** (i / hist.buckets_per_decade)
+                      for i in range(hist._num_buckets)]
+        probes = []
+        for b in boundaries:
+            probes.extend([b, math.nextafter(b, 0.0),
+                           math.nextafter(b, math.inf)])
+        probes.extend([hist.min_latency, hist.max_latency,
+                       math.nextafter(hist.min_latency, math.inf),
+                       math.nextafter(hist.max_latency, 0.0)])
+        for latency in probes:
+            expected = _reference_bucket_of(hist, latency)
+            before = list(hist._counts)
+            hist.record(latency)
+            after = list(hist._counts)
+            changed = [i for i, (a, b2) in enumerate(zip(before, after))
+                       if a != b2]
+            assert changed == [expected], latency
+
+    def test_random_samples_match_log_formula(self):
+        rng = random.Random(1234)
+        hist = LatencyHistogram()
+        for _ in range(5000):
+            latency = 10 ** rng.uniform(-7.5, 2.5)
+            expected = _reference_bucket_of(hist, latency)
+            count_before = hist._counts[expected]
+            hist.record(latency)
+            assert hist._counts[expected] == count_before + 1
+
+    def test_merge_of_disjoint_histograms(self):
+        lo, hi = LatencyHistogram(), LatencyHistogram()
+        rng = random.Random(77)
+        lo_samples = [rng.uniform(1e-6, 1e-4) for _ in range(500)]
+        hi_samples = [rng.uniform(1e-2, 1.0) for _ in range(500)]
+        lo.record_all(lo_samples)
+        hi.record_all(hi_samples)
+        union = LatencyHistogram()
+        union.record_all(lo_samples)
+        union.record_all(hi_samples)
+        lo.merge(hi)
+        assert lo._counts == union._counts
+        assert len(lo) == 1000
+        assert lo.mean == pytest.approx(union.mean)
+        assert lo.min == union.min
+        assert lo.max == union.max
+        for p in (1, 50, 99, 99.9):
+            assert lo.percentile(p) == union.percentile(p)
+
+    def test_merge_into_empty_and_from_empty(self):
+        empty, full = LatencyHistogram(), LatencyHistogram()
+        full.record_all([1e-4, 2e-3, 0.5])
+        snapshot = (list(full._counts), len(full), full.mean,
+                    full.min, full.max)
+        full.merge(empty)
+        assert (list(full._counts), len(full), full.mean,
+                full.min, full.max) == snapshot
+        empty.merge(full)
+        assert empty._counts == full._counts
+        assert empty.percentile(50) == full.percentile(50)
+
+    def test_record_all_equals_repeated_record(self):
+        rng = random.Random(5)
+        samples = [10 ** rng.uniform(-7, 2) for _ in range(2000)]
+        one, two = LatencyHistogram(), LatencyHistogram()
+        one.record_all(samples)
+        for s in samples:
+            two.record(s)
+        assert one._counts == two._counts
+        assert one._sum == two._sum  # bit-identical accumulation order
+        assert (one.min, one.max, len(one)) == (two.min, two.max, len(two))

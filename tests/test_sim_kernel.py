@@ -391,3 +391,97 @@ class TestCpuMeter:
             return env.now
 
         assert env.run_until(env.process(worker())) == 0.0
+
+
+class TestSameTickFifoOrdering:
+    """Pin the event queue's same-timestamp FIFO contract (seq order).
+
+    The array-backed queue rewrite must preserve the exact global
+    processing order: entries scheduled at the same virtual timestamp
+    run in scheduling (seq) order, interleaved correctly with entries
+    already sitting in the heap for that timestamp.  A silent reorder
+    here would change every downstream simulation byte-for-byte.
+    """
+
+    @staticmethod
+    def _dense_same_tick_run():
+        env = Environment()
+        log = []
+
+        def chain(tag, fanout):
+            # Spawns same-time children from inside a step: exercises
+            # scheduling at the *current* tick while the tick is being
+            # drained (the fast-path case).
+            log.append(("start", tag, env.now))
+            for i in range(fanout):
+                env.call_later(0.0, lambda t=(tag, i): log.append(
+                    ("call", t, env.now)))
+            yield env.timeout(0.0)
+            log.append(("resumed", tag, env.now))
+            event = env.event()
+            event.succeed(tag)
+            got = yield event
+            log.append(("event", got, env.now))
+
+        # Seed a mix of future and same-time work: three ticks, each
+        # densely populated, plus processes that keep adding work at the
+        # tick being processed.
+        for tick in (0.0, 1.0, 1.0, 2.0):
+            env.process(_delayed_spawn(env, tick, chain, log))
+        for tag in ("x", "y", "z"):
+            env.process(chain(tag, 3))
+        env.run()
+        return log
+
+    def test_same_tick_entries_fifo_by_seq(self):
+        env = Environment()
+        order = []
+        # Schedule 50 zero-delay callbacks from outside any step: they
+        # must run in exactly the order scheduled.
+        for i in range(50):
+            env.call_later(0.0, lambda i=i: order.append(i))
+        env.run()
+        assert order == list(range(50))
+
+    def test_same_tick_mixed_heap_and_fastpath_fifo(self):
+        env = Environment()
+        order = []
+        # Future-time entries land in the heap; once time advances to
+        # 1.0, newly scheduled zero-delay entries (seq higher) must run
+        # *after* the heap entries already queued for 1.0 with lower seq:
+        # b's timeout (scheduled at time 0) beats a's late callback
+        # (scheduled while draining tick 1.0).
+        def at_one(tag):
+            yield env.timeout(1.0)
+            order.append(("proc", tag))
+            env.call_later(0.0, lambda: order.append(("late", tag)))
+
+        for tag in ("a", "b"):
+            env.process(at_one(tag))
+        env.run()
+        assert order == [("proc", "a"), ("proc", "b"),
+                         ("late", "a"), ("late", "b")]
+
+    def test_dense_same_tick_schedule_is_twice_run_identical(self):
+        assert self._dense_same_tick_run() == self._dense_same_tick_run()
+
+    def test_timeout_events_keep_scheduling_order_within_tick(self):
+        env = Environment()
+        order = []
+
+        def sleeper(tag, delay):
+            yield env.timeout(delay)
+            order.append(tag)
+
+        # Same deadline reached via different mixes of (schedule time,
+        # delay); ties must break by scheduling order, never by delay.
+        env.process(sleeper("first", 2.0))
+        env.process(sleeper("second", 2.0))
+        env.process(sleeper("third", 2.0))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+
+def _delayed_spawn(env, delay, chain, log):
+    yield env.timeout(delay)
+    yield from chain(f"t{delay}", 2)

@@ -1,5 +1,6 @@
 """Tests for the operator tools: dbbench, dump, repair."""
 
+import json
 import random
 
 import pytest
@@ -249,3 +250,59 @@ class TestRepair:
         db2 = LevelDBEngine.open_sync(env, fs, options, "db")
         for i in range(0, 200, 17):
             assert db2.get_sync(b"key%04d" % i) == b"gen-4"
+
+
+class TestPerfBench:
+    """repro.tools.perfbench: wall-clock harness with deterministic digests."""
+
+    def test_benchmarks_registered(self):
+        from repro.tools.perfbench import BENCHMARKS
+        assert set(BENCHMARKS) == {"kernel", "codec", "skiplist",
+                                   "histogram", "ycsb_a"}
+
+    def test_fingerprints_stable_across_runs(self):
+        """Each benchmark's fingerprint is a pure function of the code."""
+        from repro.tools.perfbench import BENCHMARKS
+        for name in ("kernel", "codec", "skiplist", "histogram"):
+            _, first = BENCHMARKS[name]()
+            _, second = BENCHMARKS[name]()
+            assert first == second, name
+
+    def test_json_and_floor_gate(self, tmp_path, capsys):
+        from repro.tools.perfbench import main as perfbench_main
+        path = tmp_path / "BENCH_perf.json"
+        subset = "codec,histogram"
+        perfbench_main(["--benchmarks", subset, "--repeat", "1",
+                        "--json", str(path)])
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "perfbench-v1"
+        assert payload["calibration_seconds"] > 0
+        assert set(payload["benchmarks"]) == {"codec", "histogram"}
+        for row in payload["benchmarks"].values():
+            assert row["seconds"] >= 0
+            assert len(row["fingerprint"]) == 64
+        # The gate passes against a baseline this same host just wrote.
+        perfbench_main(["--benchmarks", subset, "--repeat", "1",
+                        "--assert-floor", str(path), "--tolerance", "5.0"])
+        out = capsys.readouterr().out
+        assert "perfbench: floor + fingerprints ok" in out
+
+    def test_floor_gate_fails_on_fingerprint_drift(self, tmp_path, capsys):
+        from repro.tools.perfbench import main as perfbench_main
+        path = tmp_path / "BENCH_perf.json"
+        perfbench_main(["--benchmarks", "histogram", "--repeat", "1",
+                        "--json", str(path)])
+        payload = json.loads(path.read_text())
+        payload["benchmarks"]["histogram"]["fingerprint"] = "0" * 64
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SystemExit):
+            perfbench_main(["--benchmarks", "histogram", "--repeat", "1",
+                            "--assert-floor", str(path)])
+        assert "results changed" in capsys.readouterr().out
+
+    def test_digest_mode_emits_only_fingerprints(self, capsys):
+        from repro.tools.perfbench import main as perfbench_main
+        perfbench_main(["--benchmarks", "histogram", "--digest"])
+        emitted = json.loads(capsys.readouterr().out)
+        assert set(emitted) == {"histogram"}
+        assert len(emitted["histogram"]) == 64
