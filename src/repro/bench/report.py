@@ -113,11 +113,15 @@ def _cluster_snapshot(cluster, tracer=None, server=None,
         "failovers": 0, "failed_shards": 0,
         "wal_tail_records_replayed": 0, "records_applied": 0,
         "backlog": 0, "max_lag": 0.0, "replicas": 0,
+        "fenced_writes": 0, "fenced_ships": 0, "partition_promotions": 0,
     }
     for shard in cluster.shards:
         replication["failovers"] += shard.failovers
         replication["wal_tail_records_replayed"] += (
             shard.wal_tail_records_replayed)
+        replication["fenced_writes"] += shard.fenced_writes
+        replication["fenced_ships"] += shard.fenced_ships
+        replication["partition_promotions"] += shard.partition_promotions
         replication["replicas"] += len(shard.replicas)
         if shard.state == "failed":
             replication["failed_shards"] += 1
@@ -133,9 +137,18 @@ def _cluster_snapshot(cluster, tracer=None, server=None,
         per_shard["wal_tail_records_replayed"] = (
             shard.wal_tail_records_replayed)
         per_shard["replication_max_lag"] = (link.max_lag if link else 0.0)
+        per_shard["epoch"] = shard.epoch
+        per_shard["fenced_writes"] = shard.fenced_writes
+        per_shard["fenced_ships"] = shard.fenced_ships
         per_shard["read_only"] = int(shard.primary.db.health.read_only)
         snap[f"shard{shard.shard_id}"] = per_shard
     snap["replication"] = replication
+    fabric = getattr(cluster, "fabric", None)
+    if fabric is not None:
+        # Net counters exist only when a fabric routes the traffic, so
+        # the no-fabric snapshot stays byte-identical to before.
+        snap["net"] = {key: float(value)
+                       for key, value in fabric.snapshot().items()}
     if tracer is None:
         tracer = getattr(cluster.env, "tracer", None)
     if tracer is not None and getattr(tracer, "enabled", False):

@@ -15,6 +15,7 @@ loadgen drive a cluster unchanged.
 """
 
 from .failover import FailoverController, read_wal_tail
+from .net import CONTROL_PLANE, FencedError, NetConfig, NetworkFabric
 from .partition import HashPartitioner, RangePartitioner, make_partitioner
 from .replication import ReplicationLink, ShardReplication
 from .store import (SHARD_ACTIVE, SHARD_FAILED, SHARD_FAILING_OVER,
@@ -22,11 +23,15 @@ from .store import (SHARD_ACTIVE, SHARD_FAILED, SHARD_FAILING_OVER,
                     ShardDownError, ShardRouter)
 
 __all__ = [
+    "CONTROL_PLANE",
     "ClusterConfig",
     "ClusterNode",
     "ClusterStore",
     "FailoverController",
+    "FencedError",
     "HashPartitioner",
+    "NetConfig",
+    "NetworkFabric",
     "RangePartitioner",
     "ReplicationLink",
     "Shard",

@@ -26,15 +26,38 @@ protocol:
 Detection latency is one heartbeat interval; promotion cost is the tail
 read + replay, all in virtual time — both land in the open-loop tail
 percentiles rather than disappearing.
+
+**Fabric mode** (a :class:`~repro.cluster.net.NetworkFabric` is
+installed) changes both detection and promotion:
+
+* Detection runs over the fabric's datagram channel: a heartbeat probe
+  can be lost or slowed without the primary being dead, so the
+  controller requires ``grace_misses`` *consecutive* misses before
+  acting — a slow-but-alive primary is not promoted away on one unlucky
+  probe.  A confirmed death (the connection-reset event) still fails
+  over immediately, as before.
+* A primary that misses its grace window while **alive** is partitioned
+  or gray, not dead: its disk is unreachable, so there is no tail to
+  replay.  Instead the controller waits for the replica side of the cut
+  to drain every *accepted* replication record (the reliable channel
+  guarantees accepted ⇒ delivered), bumps the shard **epoch**, and
+  promotes the freshest replica.  The ex-primary is fenced: its next
+  ship attempt — and any of its records still in flight — is rejected
+  with a typed :class:`~repro.cluster.net.FencedError`, so a healed
+  stale primary can never diverge the replica set or ack a doomed
+  write.
+* Tail salvage for a *dead* primary is charged as a bulk transfer over
+  the fabric (reading a dead machine's disk still crosses the network).
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Tuple
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..lsm.wal import WriteBatch, read_log_records
 from ..sim import Environment, Event
 from ..storage import SimFS
+from .net import CONTROL_PLANE, NetworkFabric
 
 __all__ = ["FailoverController", "read_wal_tail"]
 
@@ -49,12 +72,25 @@ def read_wal_tail(fs: SimFS, dbname: str
     everything before the tear is intact (the log-format contract), and
     an acked record can never be past a tear because acks follow the
     sync barrier.
+
+    Only numerically-named ``NNNN.log`` files are WALs; a foreign or
+    renamed ``.log`` file in the db dir is skipped with a warning
+    instead of aborting the failover mid-promotion.
     """
     logs: List[Tuple[int, str]] = []
     for name in fs.listdir(f"{dbname}/"):
-        if name.endswith(".log"):
-            number = int(name.rsplit("/", 1)[-1].split(".")[0])
-            logs.append((number, name))
+        if not name.endswith(".log"):
+            continue
+        stem = name.rsplit("/", 1)[-1].split(".")[0]
+        if not stem.isdigit():
+            # Not a WAL (operator droppings, foreign tooling): warn and
+            # move on — failover must not die on a stray file.
+            tracer = fs.env.tracer
+            tracer.count("cluster.wal_tail_foreign_files_skipped")
+            if tracer.enabled:
+                tracer.instant("wal_tail_skip", cat="cluster", file=name)
+            continue
+        logs.append((int(stem), name))
     logs.sort()
     records: List[Tuple[int, int, WriteBatch]] = []
     for _number, name in logs:
@@ -68,15 +104,25 @@ def read_wal_tail(fs: SimFS, dbname: str
 
 
 class FailoverController:
-    """Detects dead primaries and runs the promotion protocol."""
+    """Detects dead (or fenced-away) primaries and promotes replicas."""
 
     def __init__(self, env: Environment, shards: List[Any],
-                 heartbeat_interval: float = 0.005):
+                 heartbeat_interval: float = 0.005,
+                 fabric: Optional[NetworkFabric] = None,
+                 grace_misses: int = 3,
+                 probe_timeout: Optional[float] = None):
         if heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be > 0")
+        if grace_misses < 1:
+            raise ValueError("grace_misses must be >= 1")
         self.env = env
         self.shards = list(shards)
         self.heartbeat_interval = heartbeat_interval
+        self.fabric = fabric
+        self.grace_misses = grace_misses
+        self.probe_timeout = (probe_timeout if probe_timeout is not None
+                              else heartbeat_interval)
+        self._misses: Dict[int, int] = {}
         self._stopped = False
         self._proc = env.process(self._monitor(), name="cluster-failover")
 
@@ -90,12 +136,32 @@ class FailoverController:
         while not self._stopped:
             yield self.env.timeout(self.heartbeat_interval)
             for shard in self.shards:
-                if shard.state == SHARD_ACTIVE and not shard.primary_alive:
-                    yield from self._failover(shard)
+                if shard.state != SHARD_ACTIVE:
+                    continue
+                if not shard.primary_alive:
+                    # Confirmed death (connection reset / engine kill):
+                    # no grace needed, the node is gone.
+                    yield from self._failover(shard, primary_dead=True)
+                    continue
+                if self.fabric is None:
+                    continue
+                rtt = self.fabric.probe(CONTROL_PLANE,
+                                        shard.primary.node_id)
+                if rtt is not None and rtt <= self.probe_timeout:
+                    self._misses[shard.shard_id] = 0
+                    continue
+                # Lost or slow probe: partitioned, gray, or just
+                # unlucky.  The grace window decides.
+                misses = self._misses.get(shard.shard_id, 0) + 1
+                self._misses[shard.shard_id] = misses
+                if misses >= self.grace_misses:
+                    self._misses[shard.shard_id] = 0
+                    yield from self._failover(shard, primary_dead=False)
 
     # -- promotion protocol ---------------------------------------------
 
-    def _failover(self, shard: Any) -> Generator[Event, Any, None]:
+    def _failover(self, shard: Any, primary_dead: bool = True
+                  ) -> Generator[Event, Any, None]:
         from .store import SHARD_ACTIVE, SHARD_FAILED, SHARD_FAILING_OVER
         shard.state = SHARD_FAILING_OVER
         started = self.env.now
@@ -105,9 +171,22 @@ class FailoverController:
                          primary=shard.primary.node_id) as span:
             old_primary = shard.primary
             replication = old_primary.db.wal_shipper
-            if replication is not None:
-                yield from replication.stop()
-                old_primary.db.wal_shipper = None
+            if primary_dead:
+                if replication is not None:
+                    yield from replication.stop()
+                    old_primary.db.wal_shipper = None
+            elif replication is not None:
+                # The primary is alive but unreachable: we cannot tear
+                # its shipper down, but the reliable channel guarantees
+                # every *accepted* record will be delivered — wait for
+                # the replica side to drain them so no acked write is
+                # left behind, then fence the rest via the epoch bump.
+                deadline = self.env.now + max(
+                    4 * self.heartbeat_interval,
+                    8 * self.fabric.config.delay if self.fabric else 0.0)
+                while (replication.outstanding > 0
+                       and self.env.now < deadline):
+                    yield self.env.timeout(self.heartbeat_interval / 4)
             if not shard.replicas:
                 shard.state = SHARD_FAILED
                 shard.ready.notify_all()
@@ -115,18 +194,34 @@ class FailoverController:
                 tracer.count("cluster.shards_failed")
                 return
 
-            # Replay the dead primary's WAL tail onto every replica so
-            # the whole replica group converges before promotion.
-            tail = yield from read_wal_tail(old_primary.fs,
-                                            old_primary.db.dbname)
             replayed = 0
-            for node in shard.replicas:
-                for first_seq, last_seq, batch in tail:
-                    if first_seq <= node.applied_primary_seq:
-                        continue
-                    yield from node.db.write(batch)
-                    node.applied_primary_seq = last_seq
-                    replayed += 1
+            if primary_dead:
+                # Replay the dead primary's WAL tail onto every replica
+                # so the whole replica group converges before
+                # promotion.  Over a fabric, salvaging a dead machine's
+                # disk is a bulk network transfer and is charged as one.
+                tail = yield from read_wal_tail(old_primary.fs,
+                                                old_primary.db.dbname)
+                if self.fabric is not None and tail:
+                    tail_bytes = sum(batch.byte_size for _f, _l, batch
+                                     in tail)
+                    yield self.env.timeout(
+                        self.fabric.transfer_delay(tail_bytes))
+                for node in shard.replicas:
+                    for first_seq, last_seq, batch in tail:
+                        if first_seq <= node.applied_primary_seq:
+                            continue
+                        yield from node.db.write(batch)
+                        node.applied_primary_seq = last_seq
+                        replayed += 1
+            else:
+                # Partitioned-not-dead: the old primary's disk is on
+                # the wrong side of the cut — there is no tail to read.
+                # Every acked write is covered by the drain above; the
+                # ex-primary itself is fenced out for good.
+                old_primary.fenced = True
+                shard.fenced_nodes.append(old_primary)
+                shard.partition_promotions += 1
 
             # Freshest replica wins; lowest index breaks ties (after a
             # full replay they are all equal, so index 0 is promoted).
@@ -143,6 +238,9 @@ class FailoverController:
             for node in shard.replicas:
                 node.applied_primary_seq = base
             promoted.applied_primary_seq = 0
+            # The epoch bump IS the fence: links wired before this point
+            # reject all further traffic with FencedError.
+            shard.epoch += 1
             shard._wire_replication()
             shard.primary_down = self.env.event()
             shard.state = SHARD_ACTIVE
@@ -150,8 +248,9 @@ class FailoverController:
             shard.wal_tail_records_replayed += replayed
             shard.last_failover_seconds = self.env.now - started
             shard.ready.notify_all()
-            span.set(outcome="promoted", promoted=promoted.node_id,
-                     tail_records=replayed)
+            span.set(outcome="promoted" if primary_dead else "fenced",
+                     promoted=promoted.node_id, tail_records=replayed,
+                     epoch=shard.epoch)
         tracer.count("cluster.failovers")
         if tracer.enabled:
             tracer.instant("failover", cat="cluster", shard=shard.shard_id,

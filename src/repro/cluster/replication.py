@@ -18,15 +18,31 @@ The link is deliberately *asynchronous*: an ack does not wait for the
 replica.  The durability story for acked writes therefore rests on the
 primary's own synced WAL plus failover tail replay
 (:mod:`repro.cluster.failover`), not on shipping winning a race.
+
+**Fabric mode.**  When the shard is built with a
+:class:`~repro.cluster.net.NetworkFabric`, every ship is routed through
+it: a partitioned link refuses the send *synchronously* (before any
+scheduling point), the shipper retries with seeded
+exponential-backoff-with-jitter, and a promotion that bumps the shard
+epoch turns the next retry into a typed
+:class:`~repro.cluster.net.FencedError` — the late write is rejected
+instead of silently diverging the replica set.  Accepted messages are
+never lost (loss = retransmit delay, TCP-like); delivery may be delayed,
+duplicated, or reordered, and the replica side resequences so records
+always apply in primary-sequence order.  The no-fabric code path is
+byte-for-byte the original: an unconfigured cluster schedules exactly
+the same events as before the fabric existed.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Generator, List, Tuple
+from heapq import heappop, heappush
+from typing import Any, Deque, Dict, Generator, List, Optional, Tuple
 
 from ..lsm.wal import WriteBatch
 from ..sim import Condition, Environment, Event
+from .net import FencedError, NetworkFabric
 
 __all__ = ["ReplicationLink", "ShardReplication"]
 
@@ -35,7 +51,10 @@ class ReplicationLink:
     """Ships committed WAL records from one primary to one replica."""
 
     def __init__(self, env: Environment, shard_id: int, replica: Any,
-                 lag: float = 0.002, max_backlog: int = 64):
+                 lag: float = 0.002, max_backlog: int = 64,
+                 fabric: Optional[NetworkFabric] = None,
+                 src: str = "", shard: Any = None, epoch: int = 1,
+                 retry_initial: float = 0.001, retry_cap: float = 0.05):
         if lag < 0:
             raise ValueError("replication lag must be >= 0")
         if max_backlog < 1:
@@ -45,7 +64,22 @@ class ReplicationLink:
         self.replica = replica
         self.lag = lag
         self.max_backlog = max_backlog
+        #: Fabric routing (None -> perfect wire, the original model).
+        self.fabric = fabric
+        self.src = src
+        self.shard = shard
+        #: Shard epoch this link was wired under; a bumped shard epoch
+        #: fences every send and every late delivery on this link.
+        self.epoch = epoch
+        self.retry_initial = retry_initial
+        self.retry_cap = retry_cap
         self._queue: Deque[Tuple[int, int, bytes, float]] = deque()
+        #: Fabric mode: (arrival, first_seq, last_seq, record, sent)
+        #: heap for messages on the wire, plus an arrived-but-unapplied
+        #: resequencing buffer keyed by first_seq.
+        self._wire: List[Tuple[float, int, int, bytes, float]] = []
+        self._arrived: Dict[int, Tuple[int, int, bytes, float]] = {}
+        self._outstanding = 0
         self._work = Condition(env, name=f"repl-s{shard_id}-work")
         self._space = Condition(env, name=f"repl-s{shard_id}-space")
         self._stopped = False
@@ -53,14 +87,21 @@ class ReplicationLink:
         #: Records applied on the replica / observed lag high-water mark.
         self.records_applied = 0
         self.max_lag = 0.0
+        #: Fabric-mode observability.
+        self.resequenced = 0
+        self.duplicates_dropped = 0
+        run = self._run if fabric is None else self._run_fabric
         self._proc = env.process(
-            self._run(), name=f"repl-s{shard_id}-{replica.node_id}")
+            run(), name=f"repl-s{shard_id}-{replica.node_id}")
 
     # -- primary side ---------------------------------------------------
 
     def ship(self, first_seq: int, last_seq: int, record: bytes
              ) -> Generator[Event, Any, None]:
         """Enqueue one committed record (blocks on a full backlog)."""
+        if self.fabric is not None:
+            yield from self._ship_fabric(first_seq, last_seq, record)
+            return
         while len(self._queue) >= self.max_backlog and not self._stopped:
             yield self._space.wait()
         if self._stopped:
@@ -70,9 +111,64 @@ class ReplicationLink:
         self._queue.append((first_seq, last_seq, record, self.env.now))
         self._work.notify_one()
 
+    def _ship_fabric(self, first_seq: int, last_seq: int, record: bytes
+                     ) -> Generator[Event, Any, None]:
+        """Fabric ship: fail-fast on partition, retry with backoff, fence.
+
+        The epoch check and the accept/refuse verdict both happen with
+        no scheduling point in between the commit path's memtable insert
+        and the first refusal — so a write that is going to be fenced is
+        never observable by a read on the old primary (reads snapshot
+        the engine sequence at entry, and the commit leader holds the
+        engine mutex until ship returns or raises).
+        """
+        while self._outstanding >= self.max_backlog and not self._stopped:
+            yield self._space.wait()
+        if self._stopped:
+            return
+        fabric = self.fabric
+        attempt = 0
+        while True:
+            self._check_fence(first_seq, last_seq)
+            delay = fabric.try_send(self.src, self.replica.node_id)
+            if delay is not None:
+                break
+            # Connection refused (partition): back off and retry.  The
+            # bounded budget is the fence itself — promotion bumps the
+            # epoch, and the next retry raises FencedError, degrading
+            # to the park-don't-fail retry in Shard.perform.
+            attempt += 1
+            yield self.env.timeout(
+                fabric.backoff(attempt, self.retry_initial, self.retry_cap))
+        now = self.env.now
+        heappush(self._wire, (now + delay, first_seq, last_seq, record, now))
+        self._outstanding += 1
+        dup = fabric.duplicate_delay(delay)
+        if dup is not None:
+            heappush(self._wire, (now + dup, first_seq, last_seq, record, now))
+            self._outstanding += 1
+        self._work.notify_all()
+
+    def _check_fence(self, first_seq: int, last_seq: int) -> None:
+        """Raise FencedError when the shard has moved past our epoch."""
+        if self.shard is not None and self.shard.epoch > self.epoch:
+            num_ops = last_seq - first_seq + 1
+            self.shard.note_fenced_write(num_ops)
+            raise FencedError(
+                f"shard {self.shard_id} epoch {self.shard.epoch} fences "
+                f"link epoch {self.epoch}: write seq {first_seq}.."
+                f"{last_seq} rejected")
+
     def applied_through(self) -> int:
         """Primary sequence number the replica has applied through."""
         return self.replica.applied_primary_seq
+
+    @property
+    def outstanding(self) -> int:
+        """Accepted-but-unapplied records (fabric) or queued (classic)."""
+        if self.fabric is None:
+            return len(self._queue)
+        return self._outstanding
 
     # -- replica side ---------------------------------------------------
 
@@ -108,6 +204,100 @@ class ReplicationLink:
                              lag)
                 tracer.count("cluster.records_shipped")
 
+    def _run_fabric(self) -> Generator[Event, Any, None]:
+        """Receive loop: resequence arrivals, apply in seq order."""
+        env = self.env
+        while True:
+            # Move everything that has arrived off the wire.
+            now = env.now
+            while self._wire and self._wire[0][0] <= now:
+                _arrival, first, last, record, sent = heappop(self._wire)
+                if first in self._arrived:
+                    # Duplicate delivery of an in-buffer record.
+                    self.duplicates_dropped += 1
+                    self._outstanding -= 1
+                    self._space.notify_all()
+                    continue
+                self._arrived[first] = (first, last, record, sent)
+            progressed = yield from self._apply_arrived()
+            if progressed:
+                continue
+            if self._stopped and not self._wire:
+                # A sever can drop a record's predecessor off the wire
+                # and leave an unappliable gap behind; failover tail
+                # replay supersedes whatever is left, so discard it.
+                for first in sorted(self._arrived):
+                    del self._arrived[first]
+                    self._outstanding -= 1
+                self._space.notify_all()
+                return
+            waits = [self._work.wait()]
+            if self._wire:
+                waits.append(env.timeout(self._wire[0][0] - env.now))
+            yield env.any_of(waits)
+
+    def _apply_arrived(self) -> Generator[Event, Any, bool]:
+        """Apply every in-order record in the buffer; True if any."""
+        progressed = False
+        if self.shard is not None and self.epoch < self.shard.epoch:
+            # The shard moved to a newer epoch: everything this link
+            # still holds is stale-primary traffic.  Reject it all
+            # (gray failure: the old primary could still reach this
+            # replica after promotion) so the link drains and stops.
+            for first in sorted(self._arrived):
+                _f, last, _record, _sent = self._arrived.pop(first)
+                self.shard.note_fenced_ship(last - first + 1)
+                self._outstanding -= 1
+                progressed = True
+            if progressed:
+                self._space.notify_all()
+            return progressed
+        while self._arrived:
+            expected = self.replica.applied_primary_seq + 1
+            stale = [first for first in self._arrived
+                     if self._arrived[first][1] < expected]
+            for first in stale:
+                # Duplicate of an already-applied record (or a replayed
+                # prefix after failover): drop it.
+                del self._arrived[first]
+                self.duplicates_dropped += 1
+                self._outstanding -= 1
+                progressed = True
+                self._space.notify_all()
+            entry = self._arrived.pop(expected, None)
+            if entry is None:
+                if self._arrived and not stale:
+                    # A successor arrived before its predecessor:
+                    # head-of-line wait while the wire catches up.
+                    self.resequenced += 1
+                    return progressed
+                continue
+            first, last, record, sent = entry
+            if self.shard is not None and self.epoch < self.shard.epoch:
+                # Stale-epoch delivery (gray failure: the old primary
+                # could still reach this replica after promotion).
+                self.shard.note_fenced_ship(last - first + 1)
+                self._outstanding -= 1
+                progressed = True
+                self._space.notify_all()
+                continue
+            _first, batch = WriteBatch.decode(record)
+            yield from self.replica.db.write(batch)
+            self.replica.applied_primary_seq = last
+            self.records_applied += 1
+            self._outstanding -= 1
+            progressed = True
+            self._space.notify_all()
+            lag = self.env.now - sent
+            if lag > self.max_lag:
+                self.max_lag = lag
+            tracer = self.env.tracer
+            if tracer.enabled:
+                tracer.gauge(f"cluster.shard{self.shard_id}.replication_lag",
+                             lag)
+                tracer.count("cluster.records_shipped")
+        return progressed
+
     def sever(self) -> None:
         """Primary death: lose everything not yet *delivered*.
 
@@ -115,11 +305,19 @@ class ReplicationLink:
         wire — a dead primary's connection reset drops them, so they are
         cleared here and only the WAL tail can bring them back.  A
         record mid-apply on the replica has already arrived and is
-        allowed to finish (never torn).
+        allowed to finish (never torn).  In fabric mode the same rule
+        holds per message: wire in-flight is dropped, records already
+        arrived at the replica survive and drain.
         """
         self._severed = True
         self._stopped = True
         self._queue.clear()
+        if self.fabric is not None:
+            now = self.env.now
+            kept = [entry for entry in self._wire if entry[0] <= now]
+            dropped = len(self._wire) - len(kept)
+            self._wire = kept
+            self._outstanding -= dropped
         self._work.notify_all()
         self._space.notify_all()
 
@@ -128,8 +326,11 @@ class ReplicationLink:
 
         Never interrupts the apply coroutine: a half-delivered group on a
         live replica would corrupt its write path.  Whatever is left in
-        the backlog is discarded — failover tail replay re-reads those
-        records from the primary's surviving WAL files.
+        the classic backlog is discarded — failover tail replay re-reads
+        those records from the primary's surviving WAL files.  In fabric
+        mode, accepted messages still on the wire are delivered and
+        applied first (the reliable-channel guarantee), unless a sever
+        already dropped them.
         """
         self._stopped = True
         self._work.notify_all()
@@ -186,3 +387,8 @@ class ShardReplication:
     def backlog(self) -> int:
         """Records currently queued across links."""
         return sum(len(link._queue) for link in self.links)
+
+    @property
+    def outstanding(self) -> int:
+        """Accepted-but-unapplied records across links (fabric drain)."""
+        return sum(link.outstanding for link in self.links)

@@ -34,6 +34,7 @@ from ..sim import Condition, Environment, Event
 from ..storage import (BlockDevice, DeviceError, DeviceProfile, PageCache,
                        SATA_SSD, SimFS)
 from .failover import FailoverController
+from .net import CONTROL_PLANE, FencedError, NetConfig, NetworkFabric
 from .partition import make_partitioner
 from .replication import ReplicationLink, ShardReplication
 
@@ -69,6 +70,19 @@ class ClusterConfig:
     #: None -> the scaled SATA SSD profile at ``scale``.
     device: Optional[DeviceProfile] = None
     scale: int = 1024
+    #: None -> perfect wire (the original model, byte-identical).
+    #: Configured -> every inter-node message routes through a
+    #: :class:`~repro.cluster.net.NetworkFabric` built from this.
+    net: Optional[NetConfig] = None
+    #: Consecutive heartbeat probe misses tolerated before failover
+    #: (fabric mode only; an isolated lost probe is not a dead primary).
+    grace_misses: int = 3
+    #: Probe round trips slower than this count as a miss (gray
+    #: failure).  None -> the heartbeat interval.
+    probe_timeout: Optional[float] = None
+    #: Retry/backoff envelope for fabric-mode shipping and parked ops.
+    retry_initial: float = 0.001
+    retry_cap: float = 0.05
 
     def resolved_device(self) -> DeviceProfile:
         """The device profile every node runs on."""
@@ -91,6 +105,11 @@ class ClusterNode:
         #: Highest *primary* sequence number this node has applied
         #: (replica bookkeeping; rebased at failover).
         self.applied_primary_seq = 0
+        #: Shard epoch this node last served under.
+        self.epoch = 1
+        #: True once fencing decommissioned this node (stale ex-primary
+        #: that was partitioned, not dead, when a newer epoch began).
+        self.fenced = False
 
     @property
     def alive(self) -> bool:
@@ -103,14 +122,30 @@ class Shard:
 
     def __init__(self, env: Environment, shard_id: int, primary: ClusterNode,
                  replicas: List[ClusterNode], replication_lag: float,
-                 max_backlog: int):
+                 max_backlog: int, fabric: Optional[NetworkFabric] = None,
+                 retry_initial: float = 0.001, retry_cap: float = 0.05):
         self.env = env
         self.shard_id = shard_id
         self.primary = primary
         self.replicas = list(replicas)
         self.replication_lag = replication_lag
         self.max_backlog = max_backlog
+        #: None -> perfect wire; set -> all shard traffic is routed and
+        #: fault-injected through the fabric.
+        self.fabric = fabric
+        self.retry_initial = retry_initial
+        self.retry_cap = retry_cap
         self.state = SHARD_ACTIVE
+        #: Fencing epoch: bumped at every promotion.  Replication links
+        #: carry the epoch they were wired under; a stale link's sends
+        #: and late deliveries are rejected with FencedError.
+        self.epoch = 1
+        #: Client-visible late writes rejected by fencing (op count).
+        self.fenced_writes = 0
+        #: Stale-epoch shipped records rejected at the replica (op count).
+        self.fenced_ships = 0
+        #: Ex-primaries decommissioned by fencing (for close()).
+        self.fenced_nodes: List[ClusterNode] = []
         #: Notified whenever the shard becomes ACTIVE or FAILED; parked
         #: requests re-check and proceed or fail typed.
         self.ready = Condition(env, name=f"shard{shard_id}-ready")
@@ -118,6 +153,7 @@ class Shard:
         #: "connection reset"); re-armed for each new primary.
         self.primary_down: Event = env.event()
         self.failovers = 0
+        self.partition_promotions = 0
         self.wal_tail_records_replayed = 0
         self.last_failover_seconds = 0.0
         self._wire_replication()
@@ -125,15 +161,35 @@ class Shard:
     # -- replication wiring ---------------------------------------------
 
     def _wire_replication(self) -> None:
-        """(Re)install the primary's fan-out shipper over its replicas."""
+        """(Re)install the primary's fan-out shipper over its replicas.
+
+        Links are stamped with the current epoch: after the next
+        promotion bumps it, anything still flowing over them fences.
+        """
         if self.replicas:
             links = [ReplicationLink(self.env, self.shard_id, replica,
                                      lag=self.replication_lag,
-                                     max_backlog=self.max_backlog)
+                                     max_backlog=self.max_backlog,
+                                     fabric=self.fabric,
+                                     src=self.primary.node_id,
+                                     shard=self, epoch=self.epoch,
+                                     retry_initial=self.retry_initial,
+                                     retry_cap=self.retry_cap)
                      for replica in self.replicas]
             self.primary.db.wal_shipper = ShardReplication(links)
         else:
             self.primary.db.wal_shipper = None
+        self.primary.epoch = self.epoch
+
+    def note_fenced_write(self, num_ops: int) -> None:
+        """Count client-visible writes rejected by fencing."""
+        self.fenced_writes += num_ops
+        self.env.tracer.count("cluster.fenced_writes", num_ops)
+
+    def note_fenced_ship(self, num_ops: int) -> None:
+        """Count stale-epoch shipped ops rejected at a replica."""
+        self.fenced_ships += num_ops
+        self.env.tracer.count("cluster.fenced_ships", num_ops)
 
     @property
     def replication(self) -> Optional[ShardReplication]:
@@ -147,6 +203,19 @@ class Shard:
         """True while the serving primary is up and not marked down."""
         return (self.state == SHARD_ACTIVE and self.primary.alive
                 and not self.primary_down.triggered)
+
+    @property
+    def primary_reachable(self) -> bool:
+        """True while clients (control plane) can reach the primary.
+
+        Always true without a fabric; with one, a partition between the
+        control plane and the primary parks new requests instead of
+        letting them execute on a primary whose answers could not have
+        crossed the cut.
+        """
+        if self.fabric is None:
+            return True
+        return self.fabric.reachable(CONTROL_PLANE, self.primary.node_id)
 
     def mark_primary_down(self) -> None:
         """Drop connections to the primary (kill/fault injection path).
@@ -188,22 +257,56 @@ class Shard:
         the request parks on ``ready`` until failover promotes a new
         primary, then retries there.  A shard with nobody left to
         promote fails the request with :class:`ShardDownError`.
+
+        Fabric mode adds three rules.  An unreachable primary parks the
+        request too (exponential backoff with seeded jitter, since a
+        partition can heal without any promotion to notify ``ready``).
+        An operation that completes under a *different* epoch than it
+        was dispatched under is discarded and retried — its response
+        could not have crossed the cut before the promotion, so
+        returning it could leak a fenced-away value.  And a write
+        rejected with :class:`~repro.cluster.net.FencedError` is not a
+        client-visible failure: it was never acked, so it retries
+        freshly on the new primary (park-don't-fail).
         """
+        backoff = self.retry_initial
         while True:
             while (self.state == SHARD_FAILING_OVER
-                   or (self.state == SHARD_ACTIVE and not self.primary_alive)):
-                yield self.ready.wait()
+                   or (self.state == SHARD_ACTIVE
+                       and (not self.primary_alive
+                            or not self.primary_reachable))):
+                if self.fabric is None:
+                    yield self.ready.wait()
+                else:
+                    pause = self.env.timeout(
+                        self.fabric.backoff(1, backoff, self.retry_cap))
+                    yield self.env.any_of([self.ready.wait(), pause])
+                    backoff = min(backoff * 2.0, self.retry_cap)
             if self.state == SHARD_FAILED:
                 raise ShardDownError(
                     f"shard {self.shard_id} has no live primary")
             node = self.primary
+            epoch = self.epoch
             down = self.primary_down
             proc = self.env.process(make_op(node),
                                     name=f"shard{self.shard_id}-op")
             done = self.env.any_of([proc, down])
-            yield done
-            if proc.triggered and (proc.ok or not down.triggered):
-                return proc.value
+            try:
+                yield done
+            except FencedError:
+                # Late write rejected by fencing — never acked, so
+                # retrying on the new primary is a fresh attempt.
+                continue
+            if proc.triggered:
+                if proc.ok:
+                    if epoch == self.epoch and node is self.primary:
+                        return proc.value
+                    # Completed on a primary that was fenced away while
+                    # the op was in flight: the result never made it
+                    # back across the cut.  Discard and retry.
+                    continue
+                if not down.triggered:
+                    return proc.value
             # Primary died under the operation: abandon it (a failure
             # raised out of the dying node is collateral, not a result)
             # and retry on the promoted primary once failover readmits
@@ -218,6 +321,10 @@ class Shard:
             "state": self.state,
             "primary": self.primary.node_id,
             "replicas": [r.node_id for r in self.replicas],
+            "epoch": self.epoch,
+            "fenced_writes": self.fenced_writes,
+            "fenced_ships": self.fenced_ships,
+            "partition_promotions": self.partition_promotions,
             "failovers": self.failovers,
             "wal_tail_records_replayed": self.wal_tail_records_replayed,
             "last_failover_seconds": self.last_failover_seconds,
@@ -289,6 +396,11 @@ class ClusterStore:
         self.config = config
         self.name = name
         self.health = _ClusterHealth(store=self)
+        #: The simulated network every inter-node message routes
+        #: through; None (the default) is the original perfect wire.
+        self.fabric: Optional[NetworkFabric] = (
+            NetworkFabric(env, config.net) if config.net is not None
+            else None)
         self.shards: List[Shard] = []
         for shard_id in range(config.num_shards):
             primary = self._new_node(f"{name}{shard_id}p", "primary")
@@ -296,11 +408,21 @@ class ClusterStore:
                         for i in range(config.replicas_per_shard)]
             self.shards.append(Shard(env, shard_id, primary, replicas,
                                      config.replication_lag,
-                                     config.max_backlog))
+                                     config.max_backlog,
+                                     fabric=self.fabric,
+                                     retry_initial=config.retry_initial,
+                                     retry_cap=config.retry_cap))
         partitioner = make_partitioner(config.partitioner, config.num_shards)
         self.router = ShardRouter(self.shards, partitioner)
         self.failover = FailoverController(
-            env, self.shards, heartbeat_interval=config.heartbeat_interval)
+            env, self.shards, heartbeat_interval=config.heartbeat_interval,
+            fabric=self.fabric, grace_misses=config.grace_misses,
+            probe_timeout=config.probe_timeout)
+        if self.fabric is not None:
+            # A heal can restore reachability without any promotion to
+            # notify ready-parked requests: wake them to re-check.
+            for shard in self.shards:
+                self.fabric.on_heal(shard.ready.notify_all)
 
     def _new_node(self, node_id: str, role: str) -> ClusterNode:
         device = BlockDevice(self.env, self.config.resolved_device())
@@ -323,6 +445,29 @@ class ClusterStore:
     def primaries(self) -> List[ClusterNode]:
         """The current primary of each shard, in shard order."""
         return [shard.primary for shard in self.shards]
+
+    # -- nemesis surface (fabric mode) -----------------------------------
+
+    def partition_primary(self, shard_id: int) -> ClusterNode:
+        """Symmetrically cut one shard's primary off from everything.
+
+        The victim keeps running — it is partitioned, not dead — which
+        is exactly the scenario epoch fencing exists for.  Returns the
+        victim node so a nemesis can track it.
+        """
+        if self.fabric is None:
+            raise ValueError("partition_primary requires a network fabric "
+                             "(ClusterConfig.net)")
+        victim = self.shards[shard_id].primary
+        others = [CONTROL_PLANE] + [node.node_id for node in self.nodes()
+                                    if node is not victim]
+        self.fabric.isolate(victim.node_id, others)
+        return victim
+
+    def heal_network(self) -> None:
+        """Remove every partition and wake parked requests."""
+        if self.fabric is not None:
+            self.fabric.heal()
 
     # -- operation surface (Server backend) ------------------------------
 
@@ -372,7 +517,7 @@ class ClusterStore:
         if key is None:
             return "read_only" if self.health.read_only else "open"
         shard = self.router.shard_for(key)
-        if not shard.primary_alive:
+        if not shard.primary_alive or not shard.primary_reachable:
             return "open"
         db = shard.primary.db
         if db.health.read_only:
@@ -415,6 +560,15 @@ class ClusterStore:
             replication = shard.replication
             if replication is not None and shard.primary.alive:
                 yield from replication.stop()
+            for node in shard.fenced_nodes:
+                # Decommissioned ex-primaries: stop their stale shippers
+                # (everything left on them fences) and close the engine.
+                stale = node.db.wal_shipper
+                if stale is not None and node.alive:
+                    yield from stale.stop()
+                    node.db.wal_shipper = None
+                if node.alive:
+                    yield from node.db.close()
             for node in [shard.primary] + shard.replicas:
                 if node.alive:
                     yield from node.db.close()
@@ -428,7 +582,7 @@ class ClusterStore:
     def describe(self) -> Dict[str, Any]:
         """Structured status of every shard plus cluster totals."""
         shards = [shard.describe() for shard in self.shards]
-        return {
+        out = {
             "num_shards": len(self.shards),
             "partitioner": self.router.partitioner.kind,
             "failovers": sum(s["failovers"] for s in shards),
@@ -436,5 +590,12 @@ class ClusterStore:
                 s["wal_tail_records_replayed"] for s in shards),
             "max_replication_lag": max(
                 (s["replication_max_lag"] for s in shards), default=0.0),
+            "fenced_writes": sum(s["fenced_writes"] for s in shards),
+            "fenced_ships": sum(s["fenced_ships"] for s in shards),
+            "partition_promotions": sum(
+                s["partition_promotions"] for s in shards),
             "shards": shards,
         }
+        if self.fabric is not None:
+            out["net"] = self.fabric.snapshot()
+        return out

@@ -54,15 +54,19 @@ from .sweep import (
     smoke_config,
     sweep_engine,
 )
+from .history import HistoryOp, HistoryRecorder, check_history
 from .transient import (
     ChaosConfig,
     ChaosReport,
     ChaosResult,
     ClusterChaosConfig,
     ClusterChaosResult,
+    NemesisConfig,
+    NemesisResult,
     chaos_engine,
     chaos_sweep,
     cluster_chaos,
+    nemesis_chaos,
 )
 
 __all__ = [
@@ -98,7 +102,13 @@ __all__ = [
     "ChaosReport",
     "ClusterChaosConfig",
     "ClusterChaosResult",
+    "HistoryOp",
+    "HistoryRecorder",
+    "NemesisConfig",
+    "NemesisResult",
     "chaos_engine",
     "chaos_sweep",
+    "check_history",
     "cluster_chaos",
+    "nemesis_chaos",
 ]

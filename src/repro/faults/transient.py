@@ -30,7 +30,7 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..health import ReadOnlyError
 from ..obs import Tracer
@@ -42,7 +42,8 @@ from .sweep import DEFAULT_ENGINES, _system
 
 __all__ = ["ChaosConfig", "ChaosResult", "ChaosReport",
            "chaos_engine", "chaos_sweep",
-           "ClusterChaosConfig", "ClusterChaosResult", "cluster_chaos"]
+           "ClusterChaosConfig", "ClusterChaosResult", "cluster_chaos",
+           "NemesisConfig", "NemesisResult", "nemesis_chaos"]
 
 
 @dataclass
@@ -494,5 +495,307 @@ def cluster_chaos(config: Optional[ClusterChaosConfig] = None
             f"[lag-bound] observed replication lag "
             f"{result.max_replication_lag:.6f}s exceeds configured bound "
             f"{config.max_lag_bound:.6f}s")
+    cluster.close_sync()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# nemesis chaos: partitions + fencing + kill, checked against the history
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class NemesisConfig:
+    """One seeded nemesis schedule over a fabric-backed cluster.
+
+    The schedule is: run concurrent seeded clients; at ``partition_at``
+    cut the victim primary's replication links (in-flight writes start
+    backing off), shortly after isolate it completely; the failure
+    detector misses its grace window and promotes a replica **with an
+    epoch bump**, fencing the still-alive ex-primary; heal; later kill a
+    *different* shard's primary outright (the PR-6 scenario, now over
+    the fabric); settle; read every written key back.  The whole run is
+    recorded as a Jepsen-style history and checked by
+    :func:`repro.faults.history.check_history`.
+    """
+
+    engine: str = "bolt"
+    num_shards: int = 3
+    replicas_per_shard: int = 1
+    partitioner: str = "hash"
+    num_clients: int = 4
+    ops_per_client: int = 150
+    keyspace: int = 64
+    value_size: int = 32
+    scale: int = 1024
+    seed: int = 41
+    heartbeat_interval: float = 0.004
+    grace_misses: int = 3
+    #: Fabric fault intensities (see :class:`repro.cluster.NetConfig`).
+    net_delay: float = 0.0003
+    net_jitter: float = 0.2
+    net_loss: float = 0.02
+    net_duplicate: float = 0.02
+    net_reorder: float = 0.0005
+    #: Virtual time the partition begins.
+    partition_at: float = 0.05
+    #: Replication links are cut this long before full isolation: the
+    #: realistic staggered onset, and what guarantees in-flight writes
+    #: are mid-ship (backing off) when the cut completes — they will be
+    #: fenced at promotion no matter the device's micro-timing.
+    partition_onset: float = 0.004
+    partition_duration: float = 0.2
+    #: Victim shard; None draws the owner of a seeded key.
+    partition_shard: Optional[int] = None
+    #: Virtual time a different shard's primary is killed outright.
+    kill_at: float = 0.4
+    kill_shard: Optional[int] = None
+    #: Acked writes aimed at the kill victim right before the kill, so
+    #: WAL-tail salvage is provably exercised (as in cluster_chaos).
+    kill_burst: int = 4
+    #: Mean think time between one client's operations.
+    think_time: float = 0.0015
+    #: Quiet period after the schedule before the final read-back.
+    settle: float = 0.1
+
+
+@dataclass
+class NemesisResult:
+    """Outcome of one nemesis run; checked against the history."""
+
+    engine: str
+    shards: int = 0
+    ops: int = 0
+    reads: int = 0
+    writes_acked: int = 0
+    failed_ops: int = 0
+    partitioned_shard: int = -1
+    killed_shard: int = -1
+    failovers: int = 0
+    partition_promotions: int = 0
+    fenced_writes: int = 0
+    fenced_ships: int = 0
+    wal_tail_records_replayed: int = 0
+    failed_shards: int = 0
+    history_ops: int = 0
+    net: Dict[str, int] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of client requests that completed successfully."""
+        served = self.reads + self.writes_acked
+        return served / self.ops if self.ops else 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when fencing engaged and the history checker is clean."""
+        return not self.violations
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable summary (what ``dbbench --nemesis`` prints)."""
+        lines = [
+            (f"nemesis[{self.engine} x{self.shards}]: {self.ops:5d} ops "
+             f"({self.reads} reads, {self.writes_acked} acked, "
+             f"{self.failed_ops} failed), "
+             f"partitioned shard {self.partitioned_shard}, "
+             f"killed shard {self.killed_shard}, "
+             f"{self.failovers} failovers "
+             f"({self.partition_promotions} fenced promotions), "
+             f"fenced_writes {self.fenced_writes}, "
+             f"fenced_ships {self.fenced_ships}, "
+             f"{self.wal_tail_records_replayed} WAL tail records replayed, "
+             f"availability {self.availability:.6f}"),
+            (f"net: {self.net.get('messages_accepted', 0)} accepted, "
+             f"{self.net.get('sends_refused', 0)} refused, "
+             f"{self.net.get('retransmits', 0)} retransmits, "
+             f"{self.net.get('duplicates', 0)} duplicates, "
+             f"{self.net.get('probes', 0)} probes "
+             f"({self.net.get('probes_lost', 0)} lost), "
+             f"{self.net.get('partitions', 0)} partitions, "
+             f"{self.net.get('heals', 0)} heals"),
+            (f"history: {self.history_ops} ops checked, "
+             f"{len(self.violations)} violations"),
+        ]
+        for violation in self.violations[:10]:
+            lines.append(f"    {violation}")
+        lines.append("nemesis: " + ("PASS" if self.ok else "FAIL"))
+        return lines
+
+
+def nemesis_chaos(config: Optional[NemesisConfig] = None) -> NemesisResult:
+    """Partition + fence + heal + kill, checked against the op history.
+
+    The acceptance claim this run machine-checks (FAULT_MODEL.md §7):
+    with a primary partitioned away — not dead — and healed only after
+    a replica was promoted, **no acked write is lost, no fenced-away
+    value is ever read, and every late write from the stale ex-primary
+    is rejected with a typed FencedError** (``fenced_writes > 0``), all
+    while availability stays 1.0 outside the detection+promotion
+    window (parked ops complete; none fail).
+    """
+    # Imported here: repro.cluster sits above the fault layer (see
+    # cluster_chaos for the same pattern).
+    from ..cluster import (ClusterConfig, ClusterStore, NetConfig,
+                           ShardDownError)
+    from .history import HistoryRecorder, check_history
+
+    config = config or NemesisConfig()
+    spec = _system(config.engine)
+    env = Environment()
+    options = spec.options(config.scale).copy(
+        wal_sync=True, memtable_size=4096, block_cache_bytes=4096)
+    net = NetConfig(delay=config.net_delay, jitter=config.net_jitter,
+                    loss=config.net_loss, duplicate=config.net_duplicate,
+                    reorder=config.net_reorder,
+                    seed=config.seed * 7919 + 13)
+    cluster = ClusterStore(
+        env, spec.engine_cls, options,
+        ClusterConfig(num_shards=config.num_shards,
+                      replicas_per_shard=config.replicas_per_shard,
+                      partitioner=config.partitioner,
+                      heartbeat_interval=config.heartbeat_interval,
+                      grace_misses=config.grace_misses,
+                      scale=config.scale,
+                      net=net,
+                      page_cache_bytes=16 << 10))
+    result = NemesisResult(engine=config.engine, shards=config.num_shards)
+    recorder = HistoryRecorder(env)
+    written: set = set()
+
+    def do_write(client_id: int, key: bytes, value: bytes):
+        op = recorder.invoke(client_id, "w", key, value)
+        result.ops += 1
+        try:
+            yield from cluster.put(key, value)
+        except (ReadOnlyError, ShardDownError) as exc:
+            recorder.fail(op, repr(exc))
+            result.failed_ops += 1
+            return False
+        recorder.ok(op)
+        written.add(key)
+        result.writes_acked += 1
+        return True
+
+    def do_read(client_id: int, key: bytes):
+        op = recorder.invoke(client_id, "r", key)
+        result.ops += 1
+        try:
+            got = yield from cluster.get(key)
+        except (ReadOnlyError, ShardDownError) as exc:
+            recorder.fail(op, repr(exc))
+            result.failed_ops += 1
+            return None
+        recorder.ok(op, got)
+        result.reads += 1
+        return got
+
+    def client(client_id: int):
+        rng = random.Random(config.seed * 1009 + client_id)
+        for j in range(config.ops_per_client):
+            yield env.timeout(config.think_time * (0.5 + rng.random()))
+            key = b"user%06d" % rng.randrange(config.keyspace)
+            if rng.random() < 0.5:
+                value = (b"c%02d-%05d-" % (client_id, j)
+                         + b"x" * config.value_size)
+                yield from do_write(client_id, key, value)
+            else:
+                yield from do_read(client_id, key)
+
+    def shard_keys(shard_id: int, count: int) -> List[bytes]:
+        victim = cluster.shards[shard_id]
+        keys = [k for k in (b"user%06d" % n for n in range(config.keyspace))
+                if cluster.router.shard_for(k) is victim]
+        return keys[:count]
+
+    def nemesis():
+        rng = random.Random(config.seed * 31 + 7)
+        yield env.timeout(config.partition_at)
+        if config.partition_shard is not None:
+            pshard = config.partition_shard
+        else:
+            pshard = cluster.router.partitioner.shard_of(
+                b"user%06d" % rng.randrange(config.keyspace))
+        result.partitioned_shard = pshard
+        victim = cluster.shards[pshard].primary
+        # Stage 1: the partition onset cuts the replication edges
+        # first.  Writes already dispatched to the victim commit
+        # locally, then their ship is refused and enters backoff —
+        # guaranteed to still be in flight when promotion fences them.
+        cluster.fabric.partition(
+            [victim.node_id],
+            [r.node_id for r in cluster.shards[pshard].replicas])
+        for idx, key in enumerate(shard_keys(pshard, 4)):
+            value = b"inflight%02d-" % idx + b"x" * config.value_size
+            env.process(do_write(100 + idx, key, value),
+                        name=f"nemesis-inflight{idx}")
+        yield env.timeout(config.partition_onset)
+        # Stage 2: full isolation — control plane included.  The
+        # failure detector now misses its grace window and promotes.
+        cluster.partition_primary(pshard)
+        yield env.timeout(config.partition_duration)
+        cluster.heal_network()
+        # Phase 2: kill a different shard's primary outright.
+        yield env.timeout(max(0.0, config.kill_at - env.now))
+        if config.kill_shard is not None:
+            kshard = config.kill_shard
+        else:
+            candidates = [s for s in range(config.num_shards) if s != pshard]
+            kshard = candidates[rng.randrange(len(candidates))]
+        result.killed_shard = kshard
+        for idx, key in enumerate(shard_keys(kshard, config.kill_burst)):
+            value = b"killburst%02d-" % idx + b"x" * config.value_size
+            yield from do_write(200 + idx, key, value)
+        cluster.shards[kshard].kill_primary()
+
+    def drive():
+        procs = [env.process(client(c), name=f"nemesis-client{c}")
+                 for c in range(config.num_clients)]
+        procs.append(env.process(nemesis(), name="nemesis"))
+        yield env.all_of(procs)
+        yield env.timeout(config.settle)
+        # Final read-back: every written key is read once more so lost
+        # acked writes cannot hide from the history checker.
+        for key in sorted(written):
+            yield from do_read(-1, key)
+
+    env.run_until(env.process(drive(), name="nemesis-drive"))
+
+    describe = cluster.describe()
+    result.failovers = describe["failovers"]
+    result.partition_promotions = describe["partition_promotions"]
+    result.fenced_writes = describe["fenced_writes"]
+    result.fenced_ships = describe["fenced_ships"]
+    result.wal_tail_records_replayed = describe["wal_tail_records_replayed"]
+    result.failed_shards = sum(
+        1 for s in cluster.shards if s.state == "failed")
+    result.net = describe.get("net", {})
+    result.history_ops = len(recorder.ops)
+
+    result.violations.extend(check_history(recorder.ops))
+    if result.partition_promotions < 1:
+        result.violations.append(
+            "[no-fenced-promotion] the partitioned primary was never "
+            "promoted away")
+    if result.fenced_writes < 1:
+        result.violations.append(
+            "[no-fencing] no late write from the stale primary was "
+            "rejected")
+    if result.failovers < 2:
+        result.violations.append(
+            f"[missing-failover] expected >=2 failovers "
+            f"(fence + kill), saw {result.failovers}")
+    if result.wal_tail_records_replayed < 1:
+        result.violations.append(
+            "[no-tail-replay] kill burst was acked but failover replayed "
+            "no WAL tail records")
+    if result.failed_shards:
+        result.violations.append(
+            f"[shard-lost] {result.failed_shards} shard(s) ended with no "
+            f"primary")
+    if result.failed_ops:
+        result.violations.append(
+            f"[unavailable] {result.failed_ops} client ops failed — "
+            f"park-don't-fail was violated")
     cluster.close_sync()
     return result

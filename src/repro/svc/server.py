@@ -11,6 +11,15 @@ make overload and degradation *explicit*:
 * :mod:`repro.health` read-only degradation (ENOSPC et al.) → writes
   fail fast with a ``read_only`` outcome while reads keep serving.
 
+Behind a cluster backend, a partitioned or failing-over shard *parks*
+requests rather than failing them (docs/FAULT_MODEL.md §7): the shard
+retries with backoff until a replica is promoted, so clients see tail
+latency, not errors.  A :class:`~repro.cluster.FencedError` from a
+stale primary never reaches a client — the shard discards the fenced
+attempt and retries on the new primary — but if one ever surfaced it
+would classify as a typed ``error`` outcome like any other
+:class:`~repro.storage.DeviceError`.
+
 Every request resolves to a :class:`RequestOutcome` with a typed
 ``status`` — a degraded store produces errors, never wedged clients.
 """

@@ -32,7 +32,7 @@ from ..obs import Tracer, phase_summary, write_chrome_trace
 from ..sim import Event
 
 __all__ = ["main", "run_benchmarks", "run_crash_sweep", "run_chaos",
-           "run_cluster_bench", "run_cluster_chaos"]
+           "run_cluster_bench", "run_cluster_chaos", "run_cluster_nemesis"]
 
 BENCHMARKS = ("fillseq", "fillrandom", "overwrite", "readrandom",
               "readmissing", "readseq", "deleterandom", "compact", "stats")
@@ -125,6 +125,24 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--partitioner", default="hash",
                         choices=("hash", "range"),
                         help="--cluster: key partitioning (default hash)")
+    parser.add_argument("--nemesis", action="store_true",
+                        help="--cluster: run the network nemesis schedule "
+                             "(partition a primary over the simulated "
+                             "fabric, fence its late writes after "
+                             "promotion, heal, then kill another shard) "
+                             "and check the full operation history for "
+                             "linearizability violations; exit non-zero "
+                             "on any")
+    parser.add_argument("--partition", type=int, default=None,
+                        metavar="SHARD",
+                        help="--nemesis: shard whose primary gets "
+                             "partitioned (default: seeded pick)")
+    parser.add_argument("--net-loss", type=float, default=None,
+                        help="--nemesis: per-message loss probability on "
+                             "the fabric (default 0.02)")
+    parser.add_argument("--net-delay", type=float, default=None,
+                        help="--nemesis: one-way fabric delay in seconds "
+                             "(default 0.0003)")
     return parser
 
 
@@ -279,6 +297,46 @@ def run_cluster_chaos(args: argparse.Namespace, out=print) -> List[dict]:
     return rows
 
 
+def run_cluster_nemesis(args: argparse.Namespace, out=print) -> List[dict]:
+    """Handle ``--cluster --nemesis``: partition/fence/heal/kill run."""
+    from ..faults import NemesisConfig, nemesis_chaos
+    defaults = NemesisConfig()
+    config = NemesisConfig(
+        engine=args.engine, num_shards=args.shards,
+        replicas_per_shard=args.replicas, partitioner=args.partitioner,
+        ops_per_client=max(10, min(args.num, 600) // defaults.num_clients),
+        seed=args.seed,
+        partition_shard=args.partition,
+        net_loss=(defaults.net_loss if args.net_loss is None
+                  else args.net_loss),
+        net_delay=(defaults.net_delay if args.net_delay is None
+                   else args.net_delay))
+    out(f"nemesis: engine {args.engine}, {config.num_shards} shards x "
+        f"{config.replicas_per_shard} replicas ({config.partitioner}), "
+        f"{config.num_clients} clients x {config.ops_per_client} ops, "
+        f"net delay {config.net_delay * 1000:g} ms, "
+        f"loss {config.net_loss:g}, partition at "
+        f"{config.partition_at * 1000:g} ms for "
+        f"{config.partition_duration * 1000:g} ms, kill at "
+        f"{config.kill_at * 1000:g} ms")
+    result = nemesis_chaos(config)
+    for line in result.summary_lines():
+        out(line)
+    rows = [{"benchmark": "cluster-nemesis", "engine": result.engine,
+             "shards": result.shards, "ops": result.ops,
+             "availability": round(result.availability, 6),
+             "failovers": result.failovers,
+             "partition_promotions": result.partition_promotions,
+             "fenced_writes": result.fenced_writes,
+             "fenced_ships": result.fenced_ships,
+             "wal_tail_records_replayed": result.wal_tail_records_replayed,
+             "history_ops": result.history_ops,
+             "violations": len(result.violations)}]
+    if not result.ok:
+        raise SystemExit(1)
+    return rows
+
+
 def run_cluster_bench(args: argparse.Namespace, out=print) -> List[dict]:
     """Handle ``--cluster``: open-loop clients against a sharded store.
 
@@ -393,6 +451,8 @@ def run_benchmarks(args: argparse.Namespace,
                    out=print) -> List[dict]:
     """Run the requested benchmark list; returns one row per benchmark."""
     if getattr(args, "cluster", False):
+        if getattr(args, "nemesis", False):
+            return run_cluster_nemesis(args, out)
         if getattr(args, "chaos", False):
             return run_cluster_chaos(args, out)
         return run_cluster_bench(args, out)

@@ -278,6 +278,125 @@ class TestFailover:
         assert records[-1][1] == primary.db.versions.last_sequence
 
 
+class TestWalTailForeignFiles:
+    """Regression: a non-WAL ``.log`` file in the db dir must not abort
+    the failover tail read (it used to die on ``int('operator-notes')``)."""
+
+    def _plant_foreign_logs(self, env, primary):
+        def plant():
+            for name, payload in (("operator-notes.log", b"not a WAL"),
+                                  ("backup-000007.log", b"\x00" * 32)):
+                handle = yield from primary.fs.create(
+                    f"{primary.db.dbname}/{name}")
+                handle.write_at(0, payload)
+
+        env.run_until(env.process(plant(), name="plant-foreign"))
+
+    def test_read_wal_tail_skips_foreign_log_files(self):
+        env, cluster = make_cluster(num_shards=1, replicas=1)
+        for i in range(20):
+            cluster.put_sync(b"wt%04d" % i, b"w" * 8)
+        primary = cluster.shards[0].primary
+        acked_seq = primary.db.versions.last_sequence
+        self._plant_foreign_logs(env, primary)
+        primary.db.kill()
+        primary.fs.crash(survive_probability=1.0)
+
+        def read():
+            return (yield from read_wal_tail(primary.fs, primary.db.dbname))
+
+        records = env.run_until(env.process(read(), name="tail-read"))
+        assert records
+        assert records[-1][1] == acked_seq  # every real record decoded
+
+    def test_failover_survives_foreign_log_file(self):
+        env, cluster = make_cluster(num_shards=1, replicas=1, lag=0.005)
+        for i in range(30):
+            cluster.put_sync(b"ff%04d" % i, b"f" * 8)
+        shard = cluster.shards[0]
+        self._plant_foreign_logs(env, shard.primary)
+        shard.kill_primary(survive_probability=1.0)
+        advance(env, 0.5)
+        assert shard.state == SHARD_ACTIVE
+        assert shard.failovers == 1
+        for i in range(30):
+            assert cluster.get_sync(b"ff%04d" % i) == b"f" * 8
+        cluster.close_sync()
+
+
+class TestSeverRace:
+    """A record consumed off the link queue but not yet applied when the
+    primary dies is in flight on the wire: it must be dropped (recovered
+    only via WAL-tail replay), never applied late or double-counted."""
+
+    def test_in_flight_record_neither_leaks_nor_double_counts(self):
+        env, cluster = make_cluster(num_shards=1, replicas=1, lag=0.05)
+        shard = cluster.shards[0]
+        cluster.put_sync(b"sever-key", b"v1")
+        link = shard.replication.links[0]
+        # Let the link consume the record and start its 50 ms in-flight
+        # delay: consumed-not-applied is exactly the race window.
+        advance(env, 0.01)
+        assert link.records_applied == 0
+        assert shard.replicas[0].applied_primary_seq == 0
+        shard.kill_primary()  # sever: the wire drops the record
+        advance(env, 0.5)     # past the lag target AND the failover
+        assert shard.state == SHARD_ACTIVE
+        assert shard.failovers == 1
+        # The severed link never applied the record it had consumed —
+        # the promoted replica's copy came from tail replay alone.
+        assert link.records_applied == 0
+        assert shard.wal_tail_records_replayed > 0
+        assert cluster.get_sync(b"sever-key") == b"v1"
+        cluster.close_sync()
+
+
+class TestRetryAfterFailover:
+    """An unacked write abandoned by a mid-flight primary kill retries on
+    the promoted primary as a *fresh* op: exactly one ack, no false
+    lost-write, and a clean linearizability history."""
+
+    def test_unacked_write_retries_and_history_is_clean(self):
+        from repro.faults import HistoryRecorder, check_history
+        env, cluster = make_cluster(num_shards=1, replicas=1, lag=0.001)
+        shard = cluster.shards[0]
+        recorder = HistoryRecorder(env)
+
+        def acked_write(client, key, value):
+            op = recorder.invoke(client, "w", key, value)
+            yield from cluster.put(key, value)
+            recorder.ok(op)
+
+        env.run_until(env.process(acked_write(1, b"rk", b"old"),
+                                  name="w-old"))
+        # Kill the primary *at* the retried write's WAL append: the op
+        # is in flight, definitely unacked, when the node dies.
+        hook = _KillAtSite(shard, SITE_WAL_APPEND, hit_index=0)
+        shard.primary.fs.faults = hook
+        acks = []
+
+        def retried_write():
+            op = recorder.invoke(2, "w", b"rk", b"new")
+            yield from cluster.put(b"rk", b"new")
+            recorder.ok(op)
+            acks.append(env.now)
+
+        env.process(retried_write(), name="w-new")
+        advance(env, 0.5)
+        assert hook.fired
+        assert shard.failovers == 1
+        assert len(acks) == 1  # exactly one ack for the retried op
+        read_op = recorder.invoke(2, "r", b"rk")
+        value = cluster.get_sync(b"rk")
+        recorder.ok(read_op, value)
+        assert value == b"new"
+        # The oracle sees one write op spanning the failover — the
+        # internal retry is not a second op, so there is no false
+        # lost-ack and no double-apply witness.
+        assert check_history(recorder.ops) == []
+        cluster.close_sync()
+
+
 class _KillAtSite:
     """fs.faults hook: kill the shard's primary at one armed crash site."""
 
