@@ -1,0 +1,29 @@
+# Developer entry points.  Everything assumes PYTHONPATH=src (the repo
+# is import-from-source; there is no install step).
+
+PY := PYTHONPATH=src python
+
+.PHONY: check test simcheck effects doccheck
+
+## All static gates (ruff + simcheck + doccheck) in one command.
+check:
+	$(PY) -m repro.tools.checkall
+
+## The tier-1 test suite.
+test:
+	$(PY) -m pytest -x -q
+
+## The determinism/durability analyzer alone (baseline applied).
+## Library and test code are separate projects on purpose — see
+## docs/ANALYSIS.md.
+simcheck:
+	$(PY) -m repro.tools.simcheck src/repro
+	$(PY) -m repro.tools.simcheck tests benchmarks
+
+## Dump inferred effect summaries for the library.
+effects:
+	$(PY) -m repro.tools.simcheck src/repro --effects
+
+## Markdown link + doctest verification alone.
+doccheck:
+	$(PY) -m repro.tools.doccheck

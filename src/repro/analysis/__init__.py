@@ -6,11 +6,16 @@ numbers) and **race-free** (cooperative threads never observe torn
 shared state).  This package makes both properties checked invariants
 instead of hopes:
 
-* :mod:`repro.analysis.simcheck` — an AST-based static linter with a
-  rule catalog specific to this codebase (no wall-clock reads, no
-  unseeded RNG, no ordering decisions fed from unordered sets, no float
-  equality against the virtual clock, barrier-dominated MANIFEST
-  commits).  Run it with ``python -m repro.tools.simcheck src/repro``.
+* :mod:`repro.analysis.simcheck` — a whole-program static analyzer
+  with a rule catalog specific to this codebase: local rules (no
+  wall-clock reads, no unseeded RNG, no ordering decisions fed from
+  unordered sets, no float equality against the virtual clock,
+  barrier-dominated MANIFEST commits) plus interprocedural effect
+  rules built on :mod:`repro.analysis.callgraph` and
+  :mod:`repro.analysis.effects` (ack-before-barrier through call
+  chains, sleep-while-holding-lock, exception-unsafe lock release,
+  unfenced cluster ingestion, never-driven generators).  Run it with
+  ``python -m repro.tools.simcheck src/repro``.
 * :mod:`repro.analysis.sanitizer` — an opt-in runtime sanitizer for the
   sim kernel (``Environment(sanitize=True)``, alias ``Kernel``): a
   lockdep-style lock-order-graph cycle detector over
@@ -33,18 +38,26 @@ from .sanitizer import (
     SanitizerReport,
 )
 from .simcheck import (
+    BaselineError,
     Finding,
     RULES,
+    apply_baseline,
     check_paths,
     check_source,
+    check_sources,
+    load_baseline,
     main as simcheck_main,
 )
 
 __all__ = [
+    "BaselineError",
     "Finding",
     "RULES",
+    "apply_baseline",
     "check_paths",
     "check_source",
+    "check_sources",
+    "load_baseline",
     "simcheck_main",
     "Sanitizer",
     "NullSanitizer",

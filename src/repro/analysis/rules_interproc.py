@@ -1,0 +1,269 @@
+"""Interprocedural rules SIM006–SIM010 over effect summaries + call graph.
+
+Phase 3 of simcheck v2.  Each rule re-walks a function's ordered event
+list (:func:`repro.analysis.effects.extract_events`) consulting the
+fixpoint summaries of its callees, so a protocol violation is caught no
+matter how many helpers — or modules — the path crosses:
+
+SIM006
+    **ack-before-barrier**: a client waiter is resolved while a durable
+    write on the same linearized path has no dominating barrier.  This
+    is the interprocedural generalization of SIM005: the write may
+    happen in one module (WAL append in ``lsm.engine``) and the ack in
+    another (``svc.server``), and the walk still connects them.
+SIM007
+    **sleep while holding a lock**: a pure-time wait
+    (``yield env.timeout(...)``) is reachable while a capacity-1
+    ``Resource`` acquired in this function is still held — directly or
+    through a callee that sleeps without first releasing that lock (the
+    callee's ``sleep_shield`` names the locks it drops, which is how
+    ``_make_room``'s release-around-the-stall idiom passes).  A sleep
+    inside a condition-re-testing ``while`` loop is accepted as
+    post-resume re-validation.
+SIM008
+    **exception can leak a lock**: an ``acquire()`` whose matching
+    ``release()`` is not inside a ``finally`` block — any exception
+    raised between them leaves the mutex held forever (a deterministic
+    deadlock in simulation).
+SIM009
+    **unfenced durable ingestion**: cluster-layer code hands a batch to
+    an engine write path without having checked the shard epoch (or
+    raised/handled ``FencedError``) first — the PR 8 fencing protocol,
+    machine-checked.
+SIM010
+    **generator never driven**: a bare expression-statement call to a
+    function that is (in every resolution) a generator.  The generator
+    object is created and dropped; none of its effects ever run.  Only
+    *confident* resolutions are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from .callgraph import FunctionInfo, Project, iter_own_nodes
+from .effects import Event, Summary, _join_call
+
+__all__ = ["INTERPROC_RULES", "run_interproc"]
+
+#: Rule ids implemented here (merged into the main catalog).
+INTERPROC_RULES = ("SIM006", "SIM007", "SIM008", "SIM009", "SIM010")
+
+
+def _finding(make, fn: FunctionInfo, line: int, col: int, rule: str,
+             message: str):
+    """Construct a Finding via the factory passed in by the driver."""
+    return make(fn.path, line, col, rule, message, fn.qualname)
+
+
+def _is_cluster_fn(fn: FunctionInfo) -> bool:
+    """Does this function live in cluster-protocol code (SIM009 scope)?"""
+    parts = fn.path.replace("\\", "/").split("/")
+    stem = parts[-1][:-3] if parts[-1].endswith(".py") else parts[-1]
+    return "cluster" in parts or "cluster" in stem
+
+
+def _check_sim006(fn: FunctionInfo, events: List[Event],
+                  summaries: Dict[str, Summary], make) -> List:
+    """Ack-before-barrier over the interprocedural effect walk."""
+    findings: List = []
+    pending: Optional[int] = None
+    for ev in events:
+        if ev.kind == "write":
+            pending = ev.line
+        elif ev.kind == "barrier":
+            pending = None
+        elif ev.kind == "ack":
+            if pending is not None:
+                findings.append(_finding(
+                    make, fn, ev.line, ev.col, "SIM006",
+                    f"acks a client (succeed) while the durable write at "
+                    f"line {pending} has no dominating barrier"))
+                pending = None
+        elif ev.kind == "call" and ev.call is not None:
+            c = _join_call(summaries, ev.call)
+            if c is None:
+                continue
+            if c.acks and c.acks_unsealed and pending is not None:
+                findings.append(_finding(
+                    make, fn, ev.line, ev.col, "SIM006",
+                    f"{ev.call.name}() acks a client before any barrier, "
+                    f"but the durable write at line {pending} is still "
+                    f"unsealed on this path"))
+                pending = None
+            if c.writes or c.barriers:
+                if c.tail == "barrier":
+                    pending = None
+                elif c.tail == "write":
+                    pending = ev.line
+    return findings
+
+
+def _check_sim007(project: Project, fn: FunctionInfo, events: List[Event],
+                  summaries: Dict[str, Summary], make) -> List:
+    """Pure-time sleep while a capacity-1 lock acquired here is held."""
+    findings: List = []
+    held: Dict[str, int] = {}
+    for ev in events:
+        if ev.kind == "acquire":
+            if project.is_capacity_one_lock(fn, ev.key):
+                held[ev.key] = ev.line
+        elif ev.kind == "release":
+            held.pop(ev.key, None)
+        elif ev.kind == "sleep":
+            if held and not ev.retests:
+                lock = sorted(held)[0]
+                findings.append(_finding(
+                    make, fn, ev.line, ev.col, "SIM007",
+                    f"sleeps (env.timeout) while holding {lock} acquired "
+                    f"at line {held[lock]} with no post-resume "
+                    f"re-validation; release around the wait or re-check "
+                    f"state in a while loop"))
+        elif ev.kind == "call" and ev.call is not None:
+            c = _join_call(summaries, ev.call)
+            if c is None or not c.sleeps:
+                continue
+            exposed = sorted(k for k in held if k not in c.sleep_shield)
+            if exposed:
+                findings.append(_finding(
+                    make, fn, ev.line, ev.col, "SIM007",
+                    f"{ev.call.name}() can sleep (env.timeout) while "
+                    f"{exposed[0]} acquired at line {held[exposed[0]]} is "
+                    f"still held; release it around the call or waive "
+                    f"with justification"))
+    return findings
+
+
+def _finally_nodes(fn: FunctionInfo) -> Set[int]:
+    """ids() of AST nodes that live inside some ``finally`` block."""
+    out: Set[int] = set()
+    for node in iter_own_nodes(fn.node):
+        if isinstance(node, ast.Try) and node.finalbody:
+            for stmt in node.finalbody:
+                for sub in ast.walk(stmt):
+                    out.add(id(sub))
+    return out
+
+
+def _check_sim008(project: Project, fn: FunctionInfo,
+                  events: List[Event], make) -> List:
+    """A lock's matching release must sit in a ``finally`` block."""
+    findings: List = []
+    in_finally = None
+    acquires = [ev for ev in events if ev.kind == "acquire"
+                and project.is_capacity_one_lock(fn, ev.key)]
+    releases = [ev for ev in events if ev.kind == "release"]
+    for acq in acquires:
+        after = [r for r in releases
+                 if r.key == acq.key and (r.line, r.col) > (acq.line,
+                                                            acq.col)]
+        if not after:
+            continue  # lock handoff (e.g. _stall re-acquires for caller)
+        rel = after[0]
+        if in_finally is None:
+            in_finally = _finally_nodes(fn)
+        if rel.node is not None and id(rel.node) in in_finally:
+            continue
+        findings.append(_finding(
+            make, fn, acq.line, acq.col, "SIM008",
+            f"{acq.key} acquired here but the release at line {rel.line} "
+            f"is not in a try/finally; an exception in between leaks the "
+            f"lock and deadlocks the simulation"))
+    return findings
+
+
+def _check_sim009(fn: FunctionInfo, events: List[Event],
+                  summaries: Dict[str, Summary], make) -> List:
+    """Cluster ingestion must check the shard epoch before writing."""
+    if not _is_cluster_fn(fn):
+        return []
+    findings: List = []
+    checked = False
+    for ev in events:
+        if ev.kind == "epoch":
+            checked = True
+        elif ev.kind == "write":
+            if not checked:
+                findings.append(_finding(
+                    make, fn, ev.line, ev.col, "SIM009",
+                    "durable write in cluster code with no shard-epoch "
+                    "check upstream; a stale primary could mutate a "
+                    "promoted replica (add a fence check or waive with "
+                    "justification)"))
+                checked = True
+        elif ev.kind == "call" and ev.call is not None:
+            c = _join_call(summaries, ev.call)
+            if c is None:
+                continue
+            crosses_out = any(
+                t in summaries and not _is_cluster_fn_qual(t)
+                for t in ev.call.targets)
+            # The boundary test runs *before* absorbing checks_epoch:
+            # engine.write reaches _check_fence through the shipper, but
+            # that fence fires after the local durable write — it is not
+            # an upstream check.  Only a pure cluster-side helper (e.g.
+            # self._check_fence()) counts as fencing what follows.
+            if c.writes and crosses_out and not checked:
+                findings.append(_finding(
+                    make, fn, ev.line, ev.col, "SIM009",
+                    f"{ev.call.name}() reaches a durable engine write "
+                    f"with no shard-epoch check upstream; a stale "
+                    f"primary could mutate a promoted replica (add a "
+                    f"fence check or waive with justification)"))
+                checked = True
+            if c.checks_epoch and not crosses_out:
+                checked = True
+    return findings
+
+
+def _is_cluster_fn_qual(qualname: str) -> bool:
+    """Module-path test for SIM009 boundary detection."""
+    return ".cluster." in qualname or qualname.startswith("cluster")
+
+
+def _check_sim010(project: Project, fn: FunctionInfo,
+                  make) -> List:
+    """Bare expression call to a generator: it is never driven."""
+    findings: List = []
+    types = None
+    for node in iter_own_nodes(fn.node):
+        if not isinstance(node, ast.Expr) \
+                or not isinstance(node.value, ast.Call):
+            continue
+        call = node.value
+        if types is None:
+            types = project.local_types(fn)
+        resolved = project.resolve_call(fn, call, types)
+        if not resolved.confident or not resolved.targets:
+            continue
+        infos = [project.functions.get(t) for t in resolved.targets]
+        if any(info is None for info in infos):
+            continue
+        if all(info.is_generator for info in infos):
+            findings.append(_finding(
+                make, fn, call.lineno, call.col_offset, "SIM010",
+                f"{resolved.name}() is a generator but the call is a "
+                f"bare statement: it never runs (drive it with "
+                f"'yield from' or env.process(...))"))
+    return findings
+
+
+def run_interproc(project: Project, summaries: Dict[str, Summary],
+                  events: Dict[str, List[Event]], make) -> List:
+    """Run SIM006–SIM010 over every function; returns Finding objects.
+
+    ``make`` is a factory ``(path, line, col, rule, message, function)
+    -> Finding`` supplied by the driver so this module stays free of a
+    circular import on :mod:`repro.analysis.simcheck`.
+    """
+    findings: List = []
+    for qual in sorted(project.functions):
+        fn = project.functions[qual]
+        evs = events.get(qual, [])
+        findings.extend(_check_sim006(fn, evs, summaries, make))
+        findings.extend(_check_sim007(project, fn, evs, summaries, make))
+        findings.extend(_check_sim008(project, fn, evs, make))
+        findings.extend(_check_sim009(fn, evs, summaries, make))
+        findings.extend(_check_sim010(project, fn, make))
+    return findings

@@ -19,29 +19,54 @@ SIM005    a MANIFEST commit (``log_and_apply``) that is not dominated by
           a data barrier (``seal``/``fsync``/``fdatasync``/
           ``fdatabarrier``) after the last table write on the same
           durability path (intra-function call-graph walk)
+SIM006    a client ack (``succeed``) with a durable write left unsealed
+          on the same path — interprocedural, across modules
+SIM007    a pure-time sleep (``env.timeout``) while holding a
+          capacity-1 lock, without post-resume re-validation
+SIM008    a lock whose release is not in a ``finally`` block — an
+          exception between acquire and release leaks it
+SIM009    cluster ingestion that writes durably with no shard-epoch
+          fence check upstream (the failover fencing protocol)
+SIM010    a bare call to a generator function — it is never driven
+SIM011    a waiver in library code with no written justification
 ========  ==============================================================
 
+SIM001–SIM005 are fast per-file passes.  SIM006–SIM010 run over a
+project-wide call graph with per-function effect summaries (see
+:mod:`repro.analysis.callgraph`, :mod:`repro.analysis.effects`, and
+:mod:`repro.analysis.rules_interproc`).
+
 Findings can be waived per line with ``# simcheck: waive[SIM003]`` (or a
-comma list, or ``waive[*]``); waivers in library code need a
-justification in the surrounding comment.  See docs/ANALYSIS.md for the
-full catalog and worked examples.
+comma list, or ``waive[*]``; a waiver on a decorator line covers the
+decorated ``def``).  Waivers in library code must carry a justification
+in the same comment or SIM011 fires.  Pre-existing accepted findings
+live in a committed ``simcheck_baseline.json`` (each entry carries a
+justification); ``--baseline`` / auto-discovery subtracts them so only
+*new* findings fail CI.  See docs/ANALYSIS.md for the full catalog and
+worked examples.
 
 Usage::
 
     python -m repro.tools.simcheck src/repro
+    python -m repro.tools.simcheck --effects src/repro   # summary dump
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import io
+import json
 import os
 import re
 import sys
+import tokenize
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-__all__ = ["Finding", "RULES", "check_source", "check_file", "check_paths", "main"]
+__all__ = ["Finding", "RULES", "BaselineError", "check_source", "check_file",
+           "check_sources", "check_paths", "load_baseline", "apply_baseline",
+           "main"]
 
 #: Rule catalog: id -> one-line description (mirrored in docs/ANALYSIS.md).
 RULES: Dict[str, str] = {
@@ -50,7 +75,16 @@ RULES: Dict[str, str] = {
     "SIM003": "iteration over a set feeds an ordering decision (sort first)",
     "SIM004": "float equality against the virtual clock",
     "SIM005": "MANIFEST commit not dominated by a data barrier",
+    "SIM006": "client ack with an unsealed durable write (interprocedural)",
+    "SIM007": "sleeps while holding a capacity-1 lock (no re-validation)",
+    "SIM008": "lock release not exception-safe (needs try/finally)",
+    "SIM009": "cluster durable ingestion without a shard-epoch fence check",
+    "SIM010": "generator called as a bare statement is never driven",
+    "SIM011": "waiver in library code carries no justification",
 }
+
+#: Default baseline filename discovered in the working directory.
+BASELINE_FILENAME = "simcheck_baseline.json"
 
 #: Fully-qualified callables that read the wall clock (SIM001).
 WALL_CLOCK_CALLS: Set[str] = {
@@ -99,21 +133,106 @@ class Finding:
     col: int
     rule: str
     message: str
+    function: str = ""
 
     def render(self) -> str:
         """Format as ``path:line:col: RULE message`` for terminals/CI."""
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form for ``--json`` output."""
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule, "function": self.function,
+                "message": self.message}
+
+
+class BaselineError(ValueError):
+    """The baseline file is missing, unparsable, or unjustified."""
+
+
+def _comment_lines(source: str) -> Dict[int, str]:
+    """Line number -> comment text, via :mod:`tokenize`.
+
+    Only real ``#`` comments carry waivers — a docstring that *mentions*
+    the waiver syntax (like this module's own rule table) must not
+    trigger the machinery.  Falls back to a naive scan if the file does
+    not tokenize (the per-rule checkers still run on such files when
+    they at least parse).
+    """
+    out: Dict[int, str] = {}
+    try:
+        readline = io.StringIO(source).readline
+        for tok in tokenize.generate_tokens(readline):
+            if tok.type == tokenize.COMMENT:
+                out[tok.start[0]] = tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            if "#" in text:
+                out[lineno] = text[text.index("#"):]
+    return out
+
 
 def _parse_waivers(source: str) -> Dict[int, Set[str]]:
-    """Map line number -> set of waived rule ids (``*`` waives all)."""
+    """Map line number -> set of waived rule ids (``*`` waives all).
+
+    A waiver in a standalone comment covers the next code line (so a
+    multi-line justification can sit above the statement it waives),
+    and a waiver on a decorator line also covers the decorated ``def``/
+    ``class`` line, where the interprocedural rules anchor their
+    findings.
+    """
     waivers: Dict[int, Set[str]] = {}
-    for lineno, text in enumerate(source.splitlines(), start=1):
-        match = _WAIVER_RE.search(text)
-        if match:
-            rules = {part.strip() for part in match.group(1).split(",")}
-            waivers[lineno] = {r for r in rules if r}
+    lines = source.splitlines()
+    for lineno, comment in sorted(_comment_lines(source).items()):
+        match = _WAIVER_RE.search(comment)
+        if not match:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",")}
+        rules = {r for r in rules if r}
+        waivers.setdefault(lineno, set()).update(rules)
+        code = lines[lineno - 1].split("#", 1)[0].strip()
+        anchor = lineno
+        if not code:
+            # Standalone comment: anchor the waiver to the next line
+            # that carries code.
+            for follow in range(lineno, len(lines)):
+                text = lines[follow].split("#", 1)[0].strip()
+                if text:
+                    anchor = follow + 1
+                    waivers.setdefault(anchor, set()).update(rules)
+                    code = text
+                    break
+        if code.startswith("@"):
+            for follow in range(anchor, len(lines)):
+                stripped = lines[follow].strip()
+                if stripped.startswith(("def ", "async def ", "class ")):
+                    waivers.setdefault(follow + 1, set()).update(rules)
+                    break
     return waivers
+
+
+def _unjustified_waivers(source: str, path: str) -> List[Finding]:
+    """SIM011: library-code waivers must say *why* in the same comment."""
+    findings: List[Finding] = []
+    for lineno, comment in sorted(_comment_lines(source).items()):
+        match = _WAIVER_RE.search(comment)
+        if not match:
+            continue
+        prose = _WAIVER_RE.sub("", comment)
+        prose = prose.strip("#;:-—– \t")
+        if len(prose) < 12:
+            findings.append(Finding(
+                path, lineno, 0, "SIM011",
+                "waiver in library code has no justification; explain the "
+                "accepted risk in the same comment"))
+    return findings
+
+
+def _is_library_path(path: str) -> bool:
+    """Library (vs test/bench/fixture) paths get the SIM011 requirement."""
+    parts = path.replace("\\", "/").split("/")
+    return "repro" in parts and "tests" not in parts \
+        and "benchmarks" not in parts and "examples" not in parts
 
 
 def _build_parent_map(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
@@ -415,13 +534,9 @@ def _check_barrier_dominance(tree: ast.AST, path: str) -> List[Finding]:
 # Driver
 # ---------------------------------------------------------------------------
 
-def check_source(source: str, path: str = "<string>") -> List[Finding]:
-    """Run every rule over one source blob; returns unwaived findings."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [Finding(path, exc.lineno or 0, exc.offset or 0, "SIM000",
-                        f"syntax error: {exc.msg}")]
+def _local_findings(source: str, path: str,
+                    tree: ast.AST) -> List[Finding]:
+    """SIM001–SIM005: the fast per-file passes."""
     aliases = _import_aliases(tree)
     parents = _build_parent_map(tree)
     findings: List[Finding] = []
@@ -429,11 +544,61 @@ def check_source(source: str, path: str = "<string>") -> List[Finding]:
     findings.extend(_check_set_iteration(tree, parents, path))
     findings.extend(_check_clock_equality(tree, path))
     findings.extend(_check_barrier_dominance(tree, path))
-    waivers = _parse_waivers(source)
-    kept = [f for f in findings
-            if not ({f.rule, "*"} & waivers.get(f.line, set()))]
+    return findings
+
+
+def check_sources(sources: Dict[str, str],
+                  interproc: bool = True) -> List[Finding]:
+    """Run every rule over ``{path: source}``; returns unwaived findings.
+
+    Local rules (SIM001–SIM005) run per file; the interprocedural rules
+    (SIM006–SIM010) run over a project built from *all* the files
+    together, which is what lets an ack in one module see the unsealed
+    write in another.
+    """
+    findings: List[Finding] = []
+    trees: Dict[str, ast.AST] = {}
+    for path in sorted(sources):
+        source = sources[path]
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            findings.append(Finding(
+                path, exc.lineno or 0, exc.offset or 0, "SIM000",
+                f"syntax error: {exc.msg}"))
+            continue
+        trees[path] = tree
+        findings.extend(_local_findings(source, path, tree))
+    if interproc and trees:
+        from .callgraph import build_project
+        from .effects import infer_effects
+        from .rules_interproc import run_interproc
+        project = build_project(trees)
+        summaries, events = infer_effects(project)
+        findings.extend(run_interproc(project, summaries, events, Finding))
+    kept: List[Finding] = []
+    for path in sorted(sources):
+        if path not in trees:
+            continue
+        if _is_library_path(path):
+            kept.extend(_unjustified_waivers(sources[path], path))
+    waivers_by_path = {path: _parse_waivers(sources[path])
+                       for path in trees}
+    for f in findings:
+        if f.rule == "SIM000":
+            kept.append(f)
+            continue
+        waived = waivers_by_path.get(f.path, {}).get(f.line, set())
+        if {f.rule, "*"} & waived:
+            continue
+        kept.append(f)
     kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return kept
+
+
+def check_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Run every rule over one source blob; returns unwaived findings."""
+    return check_sources({path: source})
 
 
 def check_file(path: str) -> List[Finding]:
@@ -454,32 +619,192 @@ def _iter_python_files(paths: Sequence[str]) -> Iterable[str]:
             yield path
 
 
-def check_paths(paths: Sequence[str]) -> List[Finding]:
-    """Lint every ``.py`` file under the given files/directories."""
-    findings: List[Finding] = []
+def _read_sources(paths: Sequence[str]) -> Dict[str, str]:
+    """Load every ``.py`` file under the given files/directories."""
+    sources: Dict[str, str] = {}
     for filename in _iter_python_files(paths):
-        findings.extend(check_file(filename))
-    return findings
+        with open(filename, "r", encoding="utf-8") as handle:
+            sources[filename] = handle.read()
+    return sources
+
+
+def check_paths(paths: Sequence[str]) -> List[Finding]:
+    """Lint every ``.py`` file under the given files/directories.
+
+    All files are analyzed as **one project** so the interprocedural
+    rules see cross-module paths.
+    """
+    return check_sources(_read_sources(paths))
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+def load_baseline(path: str) -> List[Dict[str, str]]:
+    """Load + validate a baseline file; every entry must be justified."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    entries = data.get("entries")
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path} has no 'entries' list")
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict) or "rule" not in entry \
+                or "path" not in entry:
+            raise BaselineError(
+                f"baseline {path} entry {i} needs 'rule' and 'path'")
+        justification = str(entry.get("justification", "")).strip()
+        if len(justification) < 20:
+            raise BaselineError(
+                f"baseline {path} entry {i} ({entry['rule']} "
+                f"{entry['path']}) has no written justification")
+    return entries
+
+
+def _path_matches(finding_path: str, entry_path: str) -> bool:
+    """Suffix match so absolute and repo-relative paths both work."""
+    a = finding_path.replace("\\", "/")
+    b = entry_path.replace("\\", "/")
+    return a == b or a.endswith("/" + b) or b.endswith("/" + a)
+
+
+def apply_baseline(findings: List[Finding],
+                   entries: List[Dict[str, str]]
+                   ) -> Tuple[List[Finding], int, List[Dict[str, str]]]:
+    """Subtract baselined findings: ``(kept, suppressed, stale)``."""
+    kept: List[Finding] = []
+    used = [False] * len(entries)
+    suppressed = 0
+    for f in findings:
+        hit = False
+        for i, entry in enumerate(entries):
+            if entry["rule"] != f.rule:
+                continue
+            if not _path_matches(f.path, entry["path"]):
+                continue
+            wanted = entry.get("function")
+            if wanted and wanted != f.function:
+                continue
+            used[i] = True
+            hit = True
+        if hit:
+            suppressed += 1
+        else:
+            kept.append(f)
+    stale = [entry for i, entry in enumerate(entries) if not used[i]]
+    return kept, suppressed, stale
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def _dump_effects_json(paths: Sequence[str]) -> str:
+    """Deterministic JSON dump of every function's effect summary."""
+    from .callgraph import build_project
+    from .effects import dump_effects, infer_effects
+    sources = _read_sources(paths)
+    trees: Dict[str, ast.AST] = {}
+    for path in sorted(sources):
+        try:
+            trees[path] = ast.parse(sources[path], filename=path)
+        except SyntaxError:
+            continue
+    project = build_project(trees)
+    summaries, _events = infer_effects(project)
+    return json.dumps(dump_effects(project, summaries), indent=2,
+                      sort_keys=True)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI: print findings, exit 1 if any."""
+    """CLI.  Exit codes: 0 clean, 1 findings, 2 usage/parse error."""
     parser = argparse.ArgumentParser(
         prog="repro.tools.simcheck",
-        description="determinism linter for the simulator codebase")
-    parser.add_argument("paths", nargs="+",
+        description="determinism + durability-protocol linter for the "
+                    "simulator codebase")
+    parser.add_argument("paths", nargs="*",
                         help="files or directories to lint")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
+    parser.add_argument("--effects", action="store_true",
+                        help="dump inferred per-function effect summaries "
+                             "as deterministic JSON and exit")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit findings as JSON")
+    parser.add_argument("--gha", action="store_true",
+                        help="emit GitHub Actions ::error annotations")
+    parser.add_argument("--rule", action="append", default=[],
+                        metavar="SIMxxx",
+                        help="only report these rule ids (repeatable)")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help=f"baseline file of accepted findings "
+                             f"(default: ./{BASELINE_FILENAME} if present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
     args = parser.parse_args(argv)
     if args.list_rules:
         for rule in sorted(RULES):
             print(f"{rule}  {RULES[rule]}")
         return 0
+    if not args.paths:
+        parser.error("at least one path is required")
+    for rule in args.rule:
+        if rule not in RULES:
+            parser.error(f"unknown rule id {rule!r}")
+    if args.effects:
+        print(_dump_effects_json(args.paths))
+        return 0
+
     findings = check_paths(args.paths)
-    for finding in findings:
-        print(finding.render())
+    suppressed = 0
+    if not args.no_baseline:
+        baseline_path = args.baseline
+        if baseline_path is None and os.path.exists(BASELINE_FILENAME):
+            baseline_path = BASELINE_FILENAME
+        if baseline_path is not None:
+            try:
+                entries = load_baseline(baseline_path)
+            except BaselineError as exc:
+                print(f"simcheck: {exc}", file=sys.stderr)
+                return 2
+            findings, suppressed, stale = apply_baseline(findings, entries)
+            # Only warn about stale entries covering files this run
+            # actually analyzed: the baseline is shared between the
+            # library and the tests/benchmarks analysis groups, and an
+            # entry for the other group is out of scope, not stale.
+            analyzed = list(_iter_python_files(args.paths))
+            for entry in stale:
+                if not any(_path_matches(f, entry["path"])
+                           for f in analyzed):
+                    continue
+                print(f"simcheck: stale baseline entry {entry['rule']} "
+                      f"{entry['path']} (no longer fires)", file=sys.stderr)
+    if args.rule:
+        findings = [f for f in findings if f.rule in args.rule]
+
+    parse_errors = any(f.rule == "SIM000" for f in findings)
+    if args.as_json:
+        print(json.dumps({"findings": [f.as_dict() for f in findings],
+                          "count": len(findings),
+                          "baseline_suppressed": suppressed},
+                         indent=2, sort_keys=True))
+    else:
+        for finding in findings:
+            if args.gha:
+                print(f"::error file={finding.path},line={finding.line},"
+                      f"col={finding.col},title={finding.rule}"
+                      f"::{finding.message}")
+            else:
+                print(finding.render())
+    if parse_errors:
+        if not args.as_json:
+            print("simcheck: parse error(s)", file=sys.stderr)
+        return 2
     if findings:
-        print(f"simcheck: {len(findings)} finding(s)", file=sys.stderr)
+        if not args.as_json:
+            print(f"simcheck: {len(findings)} finding(s)", file=sys.stderr)
         return 1
     return 0

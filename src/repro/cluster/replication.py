@@ -191,6 +191,11 @@ class ReplicationLink:
                 return
             if last_seq <= self.replica.applied_primary_seq:
                 continue  # already applied (failover replayed past it)
+            if self.shard is not None and self.epoch < self.shard.epoch:
+                # Stale-epoch delivery (gray failure: the old primary
+                # could still reach this replica after promotion).
+                self.shard.note_fenced_ship(last_seq - first_seq + 1)
+                continue
             _first, batch = WriteBatch.decode(record)
             yield from self.replica.db.write(batch)
             self.replica.applied_primary_seq = last_seq

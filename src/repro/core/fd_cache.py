@@ -61,15 +61,19 @@ class FileDescriptorCache:
             return handle
         if tracer.enabled:
             tracer.count("fd_cache.miss")
-        if not self._lock.try_acquire():
+        contended = not self._lock.try_acquire()
+        if contended:
             # Contended: another process is filling or evicting.  Wait
             # our turn, then re-check — it may have filled this name.
             yield self._lock.acquire()
-            filled = self._cache.get(name)
-            if filled is not None:
-                self._lock.release()
-                return filled
         try:
+            if contended:
+                filled = self._cache.get(name)
+                if filled is not None:
+                    return filled
+            # simcheck: waive[SIM007] - the fill lock intentionally
+            # spans the simulated disk open: concurrent fillers would
+            # double-open and double-insert the same handle.
             handle = yield from self.fs.open(name)
             self._cache.put(name, handle)
             if sanitizer.enabled:

@@ -543,6 +543,10 @@ class LSMEngine:
             yield from self._make_room(meter)
             waited = self.env.now - enqueued
             group = self._form_group(leader)
+            # simcheck: waive[SIM007] - leader holds the mutex across the
+            # commit (incl. replication backoff sleeps) on purpose: group
+            # members must not observe a half-committed batch, and the
+            # stall *is* the backpressure signal (§3.2).
             yield from self._commit_group(group, meter)
         except BaseException as exc:  # noqa: BLE001 - delivered to the group
             failure = exc
@@ -784,16 +788,18 @@ class LSMEngine:
             raise ValueError("read through a released snapshot")
         if self.read_lock:
             yield self._mutex.acquire()
-        snapshot = (snapshot.sequence if snapshot is not None
-                    else self.versions.last_sequence)
-        meter.charge(meter.model.memtable_lookup)
-        state, value = self._memtable.get(key, snapshot)
-        if state == NOT_FOUND and self._imm is not None:
+        try:
+            snapshot = (snapshot.sequence if snapshot is not None
+                        else self.versions.last_sequence)
             meter.charge(meter.model.memtable_lookup)
-            state, value = self._imm.get(key, snapshot)
-        version = self.versions.current
-        if self.read_lock:
-            self._mutex.release()
+            state, value = self._memtable.get(key, snapshot)
+            if state == NOT_FOUND and self._imm is not None:
+                meter.charge(meter.model.memtable_lookup)
+                state, value = self._imm.get(key, snapshot)
+            version = self.versions.current
+        finally:
+            if self.read_lock:
+                self._mutex.release()
         if state != NOT_FOUND:
             yield from meter.drain()
             if state == FOUND:
@@ -879,14 +885,17 @@ class LSMEngine:
             raise ValueError("read through a released snapshot")
         if self.read_lock:
             yield self._mutex.acquire()
-        snapshot = (snapshot.sequence if snapshot is not None
-                    else self.versions.last_sequence)
-        streams: List[List[Entry]] = [list(self._memtable.entries_from(start_key))]
-        if self._imm is not None:
-            streams.append(list(self._imm.entries_from(start_key)))
-        version = self.versions.current
-        if self.read_lock:
-            self._mutex.release()
+        try:
+            snapshot = (snapshot.sequence if snapshot is not None
+                        else self.versions.last_sequence)
+            streams: List[List[Entry]] = [
+                list(self._memtable.entries_from(start_key))]
+            if self._imm is not None:
+                streams.append(list(self._imm.entries_from(start_key)))
+            version = self.versions.current
+        finally:
+            if self.read_lock:
+                self._mutex.release()
 
         self._inflight_reads += 1
         try:

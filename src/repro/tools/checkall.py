@@ -1,0 +1,80 @@
+"""checkall: the one-command pre-commit gate (``make check``).
+
+Runs every static gate the CI lint stage runs, in order:
+
+1. **ruff** — style/bug-pattern lint (skipped with a notice when the
+   binary is not installed; CI always has it).
+2. **simcheck** — the determinism + durability-protocol analyzer over
+   ``src/repro``, ``tests`` and ``benchmarks``, against the committed
+   ``simcheck_baseline.json``.
+3. **doccheck** — Markdown link + doctest verification.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.tools.checkall      # or: make check
+
+Exits 0 only when every gate that ran passed.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+from typing import List, Optional, Sequence
+
+__all__ = ["main"]
+
+#: The simcheck gate runs one analysis per group: the library is one
+#: whole program; tests+benchmarks are a *separate* project so that
+#: deliberately half-broken test drivers (crash tests write without
+#: sealing on purpose) don't inherit library effect summaries and
+#: drown the signal.
+SIMCHECK_GROUPS = (("src/repro",), ("tests", "benchmarks"))
+
+
+def _banner(name: str, status: str) -> None:
+    print(f"checkall: {name}: {status}", flush=True)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run ruff + simcheck + doccheck; exit non-zero on any failure."""
+    del argv  # no options yet; the gate set is the interface
+    failures: List[str] = []
+
+    ruff = shutil.which("ruff")
+    if ruff is None:
+        _banner("ruff", "SKIPPED (not installed; CI runs it)")
+    else:
+        proc = subprocess.run([ruff, "check", "."])
+        if proc.returncode == 0:
+            _banner("ruff", "ok")
+        else:
+            failures.append("ruff")
+            _banner("ruff", "FAILED")
+
+    from ..analysis.simcheck import main as simcheck_main
+    for group in SIMCHECK_GROUPS:
+        label = f"simcheck {' '.join(group)}"
+        if simcheck_main(list(group)) == 0:
+            _banner(label, "ok")
+        else:
+            failures.append(label)
+            _banner(label, "FAILED")
+
+    from .doccheck import main as doccheck_main
+    if doccheck_main([]) == 0:
+        _banner("doccheck", "ok")
+    else:
+        failures.append("doccheck")
+        _banner("doccheck", "FAILED")
+
+    if failures:
+        print(f"checkall: FAILED ({', '.join(failures)})", file=sys.stderr)
+        return 1
+    print("checkall: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,16 @@
-"""CLI wrapper for the determinism linter.
+"""CLI wrapper for the determinism + durability-protocol analyzer.
 
 Usage::
 
-    python -m repro.tools.simcheck src/repro         # lint the library
-    python -m repro.tools.simcheck --list-rules      # print the catalog
+    python -m repro.tools.simcheck src/repro          # lint the library
+    python -m repro.tools.simcheck tests benchmarks   # separate project
+    python -m repro.tools.simcheck --list-rules       # print the catalog
+    python -m repro.tools.simcheck src/repro --effects  # dump summaries
 
-Exits non-zero on any finding; see docs/ANALYSIS.md for the rule
-catalog and the ``# simcheck: waive[RULE]`` escape hatch.
+Exits 0 when clean modulo ``simcheck_baseline.json``, 1 on findings,
+2 on usage/parse errors; see docs/ANALYSIS.md for the rule catalog,
+the ``# simcheck: waive[RULE]`` escape hatch, and the baseline
+workflow.
 """
 
 from __future__ import annotations

@@ -625,3 +625,70 @@ class TestAnalysisCleanliness:
         cluster.close_sync()
         assert env.sanitizer.reports == []
         env.sanitizer.check()
+
+
+class TestClassicLinkFencing:
+    """The no-fabric link must fence stale-epoch deliveries (SIM009).
+
+    A record still queued on a classic link when the shard moves to a
+    newer epoch is stale-primary traffic: it must be counted as fenced
+    and dropped, never applied to the (possibly promoted) replica —
+    the same guard the fabric resequencing path has always had.
+    """
+
+    @staticmethod
+    def _harness(env):
+        from repro.cluster.replication import ReplicationLink
+        from repro.lsm import WriteBatch
+
+        class FakeShard:
+            epoch = 1
+            fenced_ops = 0
+
+            def note_fenced_ship(self, num_ops):
+                self.fenced_ops += num_ops
+
+        class FakeDB:
+            applied = 0
+
+            def write(self, batch):
+                self.applied += 1
+                return
+                yield  # pragma: no cover - makes write() a generator
+
+        class FakeReplica:
+            node_id = "r1"
+            applied_primary_seq = 0
+            db = FakeDB()
+
+        shard = FakeShard()
+        replica = FakeReplica()
+        link = ReplicationLink(env, 0, replica, lag=0.001,
+                               shard=shard, epoch=1)
+        batch = WriteBatch()
+        batch.put(b"k", b"v")
+        record = batch.encode(1)
+        return shard, replica, link, record
+
+    @staticmethod
+    def _settle(env):
+        def sleeper():
+            yield env.timeout(0.01)
+        env.run_until(env.process(sleeper()))
+
+    def test_stale_epoch_record_is_fenced_not_applied(self, env):
+        shard, replica, link, record = self._harness(env)
+        env.run_until(env.process(link.ship(1, 1, record)))
+        shard.epoch = 2  # promotion happens while the record is queued
+        self._settle(env)
+        assert replica.db.applied == 0
+        assert shard.fenced_ops == 1
+        assert link.records_applied == 0
+
+    def test_current_epoch_record_still_applies(self, env):
+        shard, replica, link, record = self._harness(env)
+        env.run_until(env.process(link.ship(1, 1, record)))
+        self._settle(env)
+        assert replica.db.applied == 1
+        assert shard.fenced_ops == 0
+        assert link.records_applied == 1

@@ -377,3 +377,48 @@ class TestBinaryKeys:
                 got = yield from db.get(key)
                 assert got == value, key
         env.run_until(env.process(writer()))
+
+
+class TestReadPathLockSafety:
+    """The read mutex must survive a raising lookup (simcheck SIM008).
+
+    ``get``/``scan`` take the db mutex for their in-memory phase; the
+    release sits in a ``finally`` so an exception inside the locked
+    window cannot leak the mutex and deadlock every later writer.
+    """
+
+    class _Boom(RuntimeError):
+        pass
+
+    def test_get_releases_mutex_when_lookup_raises(self):
+        _env, _fs, db = fresh_db()
+        db.put_sync(b"k", b"v")
+        assert db.read_lock  # the guard only matters on this family
+        real = db._memtable
+
+        class Exploding:
+            def get(self, key, snapshot):
+                raise TestReadPathLockSafety._Boom
+
+        db._memtable = Exploding()
+        with pytest.raises(self._Boom):
+            db.get_sync(b"k")
+        db._memtable = real
+        assert db._mutex.in_use == 0
+        assert db.get_sync(b"k") == b"v"
+
+    def test_scan_releases_mutex_when_lookup_raises(self):
+        _env, _fs, db = fresh_db()
+        db.put_sync(b"k", b"v")
+        real = db._memtable
+
+        class Exploding:
+            def entries_from(self, start_key):
+                raise TestReadPathLockSafety._Boom
+
+        db._memtable = Exploding()
+        with pytest.raises(self._Boom):
+            db.scan_sync(b"", 10)
+        db._memtable = real
+        assert db._mutex.in_use == 0
+        assert db.scan_sync(b"", 10) == [(b"k", b"v")]

@@ -137,6 +137,7 @@ class TestTransientEIO:
                                          max_failures=2)
         before = env.now
         env.run_until(env.process(device.write(8 * KB)))
+        # simcheck: waive[SIM004] - pytest.approx IS the epsilon compare
         assert env.now - before == pytest.approx(3 * clean)
 
     def test_persistent_eio_raises_device_error(self, env):

@@ -344,6 +344,7 @@ def test_unified_snapshot_sections():
     snap = unified_snapshot(stack, db)
     assert set(snap) == {"clock", "device", "fs", "engine", "health",
                          "metrics"}
+    # simcheck: waive[SIM004] - snapshot must equal the clock exactly
     assert snap["clock"]["virtual_seconds"] == stack.env.now
     assert snap["fs"]["num_barrier_calls"] == stack.fs.stats.num_barrier_calls
     assert snap["engine"]["compactions"] == db.stats.compactions
