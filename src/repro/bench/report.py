@@ -181,6 +181,9 @@ def unified_snapshot(stack, db=None, tracer=None, server=None,
     * ``health``  — :class:`~repro.health.ErrorManager` counters plus
       device ``eio_retries`` and the quarantined-table count (only when
       ``db`` is given)
+    * ``tier``    — :class:`~repro.objstore.TieringPolicy` counters
+      (demotions, remote request/dollar totals, LSST-cache hit rate and
+      miss p999) — only when the engine has tiering installed
     * ``metrics`` — the :class:`~repro.obs.MetricsRegistry` counters and
       gauges (only when a tracer with metrics observes the stack)
     * ``svc``     — :class:`~repro.svc.ServerStats` counters (only when
@@ -219,6 +222,11 @@ def unified_snapshot(stack, db=None, tracer=None, server=None,
         health["eio_retries"] = stack.device.stats.num_eio_retries
         health["quarantined_tables"] = len(db._quarantined)
         snap["health"] = health
+        tiering = getattr(db, "tiering", None)
+        if tiering is not None:
+            # Tier counters exist only when the objstore subsystem was
+            # installed, so the untiered snapshot stays byte-identical.
+            snap["tier"] = tiering.snapshot()
     if tracer is None:
         tracer = getattr(stack.env, "tracer", None)
     if tracer is not None and getattr(tracer, "enabled", False):

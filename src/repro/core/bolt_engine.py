@@ -152,6 +152,16 @@ class BoLTMixin:
         tracer = self.env.tracer
         punched_any = False
         for meta in metas:
+            if (self.tiering is not None
+                    and self.versions.current.is_remote(meta.container)):
+                # Remote container: when its last table dies the tier
+                # pointer is removed *first*, then the object deleted
+                # (never the reverse — the pointer must not dangle).
+                # While tables remain live the whole object stays; its
+                # dead spans are reclaimed only wholesale.
+                yield from self.tiering.maybe_release(meta.container,
+                                                      self._bg_meter())
+                continue
             if not self.fs.exists(meta.container):
                 continue
             try:

@@ -16,12 +16,28 @@ from ..lsm.engine import OutputSink
 from ..sim import Event
 from ..storage import FileHandle, SimFS
 
-__all__ = ["CompactionFileSink", "container_name"]
+__all__ = ["CompactionFileSink", "container_name", "parse_container_number"]
 
 
 def container_name(dbname: str, file_number: int) -> str:
     """The on-disk name of compaction file ``file_number``."""
     return f"{dbname}/{file_number:06d}.cf"
+
+
+def parse_container_number(name: str) -> Optional[int]:
+    """The file number of a container name, or ``None`` for anything else.
+
+    The defensive inverse of :func:`container_name`, used where a
+    *listing* (local directory or remote object keys) is interpreted as
+    a set of containers: a foreign object someone parked under the
+    database prefix (``db/notes.txt``, ``db/000007.cf.bak``) must be
+    skipped, not crashed on or garbage-collected.
+    """
+    tail = name.rsplit("/", 1)[-1]
+    stem, dot, suffix = tail.partition(".")
+    if dot != "." or suffix != "cf" or not stem.isdigit():
+        return None
+    return int(stem)
 
 
 class CompactionFileSink(OutputSink):

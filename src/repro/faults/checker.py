@@ -17,6 +17,11 @@ The contract (spelled out precisely in docs/FAULT_MODEL.md):
 4. **Recovery converges** — after recovery quiesces, crashing again
    (losing everything unsynced) and recovering yields the identical
    key-value state: reopen-after-reopen is a fixed point.
+5. **Tier pointers are sound** (tiered stores only) — every MANIFEST
+   tier pointer (tag 9) references an object that exists in the object
+   store with exactly the recorded length and CRC: a crash anywhere in
+   the demote/release sequence must never leave a pointer to a missing
+   or torn object.
 """
 
 from __future__ import annotations
@@ -145,6 +150,7 @@ class CrashChecker:
             violations.extend(self._check_group_atomicity(db, image, state,
                                                           label))
         violations.extend(self._check_manifest_refs(env, fs, db, label))
+        violations.extend(self._check_tier_refs(fs, db, label))
         violations.extend(self._check_fixed_point(env, fs, db, state, label))
         return violations
 
@@ -221,18 +227,31 @@ class CrashChecker:
     def _check_manifest_refs(self, env: Any, fs: Any, db: Any,
                              label: Dict[str, str]) -> List[Violation]:
         violations: List[Violation] = []
-        for meta in db.versions.current.live_numbers().values():
-            if db.versions.current.is_quarantined(meta.number):
+        version = db.versions.current
+        store = getattr(fs, "remote", None)
+        for meta in version.live_numbers().values():
+            if version.is_quarantined(meta.number):
                 # Quarantined tables are referenced on purpose (so
                 # recovery knows the bytes are suspect) but excluded
                 # from the decode contract: reads fail fast instead.
                 continue
-            if not fs.exists(meta.container):
-                violations.append(Violation(
-                    "dangling-table", detail=f"{meta.container} missing "
-                    f"(table {meta.number})", **label))
-                continue
-            if meta.offset + meta.length > fs.file_size(meta.container):
+            if version.is_remote(meta.container) and not fs.exists(meta.container):
+                # Demoted container: the object store holds the bytes.
+                # Its existence and integrity are clause 5's job
+                # (_check_tier_refs); here we bound-check against the
+                # remote object and decode through the tiered read path.
+                container_size = (store.object_length(meta.container)
+                                  if store is not None else None)
+                if container_size is None:
+                    continue  # reported as dangling-tier-pointer
+            else:
+                if not fs.exists(meta.container):
+                    violations.append(Violation(
+                        "dangling-table", detail=f"{meta.container} missing "
+                        f"(table {meta.number})", **label))
+                    continue
+                container_size = fs.file_size(meta.container)
+            if meta.offset + meta.length > container_size:
                 violations.append(Violation(
                     "table-out-of-bounds",
                     detail=f"table {meta.number} at {meta.container}:"
@@ -255,6 +274,41 @@ class CrashChecker:
                     "corrupt-table",
                     detail=f"table {meta.number} in {meta.container}: "
                            f"{exc!r}", **label))
+        return violations
+
+    # -- clause 5: tier pointers are sound -------------------------------
+
+    def _check_tier_refs(self, fs: Any, db: Any,
+                         label: Dict[str, str]) -> List[Violation]:
+        """Every MANIFEST tier pointer names an intact remote object.
+
+        A pointer to a missing object is a *dangle* (the release order
+        was violated: the object was deleted before the pointer edit
+        committed); a length or CRC mismatch is a *torn* object (the
+        PUT-is-atomic-at-completion contract was violated).  Both must
+        be impossible at every reachable crash state.
+        """
+        remote = db.versions.current.remote_containers
+        if not remote:
+            return []
+        violations: List[Violation] = []
+        store = getattr(fs, "remote", None)
+        for container in sorted(remote):
+            length, crc = remote[container]
+            data = store.objects.get(container) if store is not None else None
+            if data is None:
+                violations.append(Violation(
+                    "dangling-tier-pointer",
+                    detail=f"tier pointer for {container} references a "
+                           f"missing remote object", **label))
+                continue
+            if len(data) != length or (zlib.crc32(data) & 0xFFFFFFFF) != crc:
+                violations.append(Violation(
+                    "torn-tier-object",
+                    detail=f"remote object {container} is "
+                           f"{len(data)}B/crc{zlib.crc32(data) & 0xFFFFFFFF:08x}, "
+                           f"MANIFEST records {length}B/crc{crc:08x}",
+                    **label))
         return violations
 
     # -- clause 4: recovery convergence ---------------------------------

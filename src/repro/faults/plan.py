@@ -36,6 +36,9 @@ __all__ = [
     "SITE_MANIFEST_APPEND",
     "SITE_MANIFEST_COMMIT",
     "SITE_CURRENT_RENAME",
+    "SITE_TIER_PUT",
+    "SITE_TIER_FETCH",
+    "SITE_TIER_UNLINK",
     "SITE_TIMER",
     "FaultModel",
     "DEFAULT_MODELS",
@@ -69,13 +72,23 @@ SITE_MANIFEST_APPEND = "manifest.append"
 SITE_MANIFEST_COMMIT = "manifest.commit"
 #: CURRENT was atomically renamed to name a new manifest.
 SITE_CURRENT_RENAME = "manifest.current_rename"
+#: A demotion PUT completed; the MANIFEST tier pointer is not committed
+#: (the remote object is an orphan if we crash here).
+SITE_TIER_PUT = "tier.put"
+#: A remote container was fetched and admitted to the local LSST cache
+#: (the cache file is deliberately unsynced).
+SITE_TIER_FETCH = "tier.fetch"
+#: A demoted container's local file was unlinked — the object store now
+#: holds the only durable copy.
+SITE_TIER_UNLINK = "tier.unlink"
 #: A time-armed crash point (see :meth:`CrashInjector.arm_at_times`).
 SITE_TIMER = "timer"
 
 ALL_SITES: Tuple[str, ...] = (
     SITE_BARRIER, SITE_FDATABARRIER, SITE_HOLE_PUNCH, SITE_WAL_APPEND,
     SITE_WAL_GROUP_APPEND, SITE_TABLE_SEALED, SITE_MANIFEST_APPEND,
-    SITE_MANIFEST_COMMIT, SITE_CURRENT_RENAME, SITE_TIMER,
+    SITE_MANIFEST_COMMIT, SITE_CURRENT_RENAME, SITE_TIER_PUT,
+    SITE_TIER_FETCH, SITE_TIER_UNLINK, SITE_TIMER,
 )
 
 
@@ -137,6 +150,8 @@ def _copy_file(file: _SimFile) -> _SimFile:
     copy.dirty_epoch = dict(file.dirty_epoch)
     copy.submitted = set(file.submitted)
     copy.punched = set(file.punched)
+    copy.partial_punches = {page: [list(span) for span in spans]
+                            for page, spans in file.partial_punches.items()}
     copy.durable_size = file.durable_size
     return copy
 
@@ -151,12 +166,15 @@ class CrashImage:
     """
 
     __slots__ = ("site", "index", "time", "detail", "epoch", "files",
-                 "profile", "page_cache_bytes", "oracle")
+                 "profile", "page_cache_bytes", "oracle", "remote_objects",
+                 "remote_profile", "remote_seed")
 
     def __init__(self, site: str, index: int, time: float,
                  detail: Dict[str, Any], epoch: int, files: List[_SimFile],
                  profile: DeviceProfile, page_cache_bytes: Optional[int],
-                 oracle: Any = None):
+                 oracle: Any = None,
+                 remote_objects: Optional[Dict[str, bytes]] = None,
+                 remote_profile: Any = None, remote_seed: int = 0):
         self.site = site
         self.index = index
         self.time = time
@@ -168,6 +186,13 @@ class CrashImage:
         #: Oracle snapshot (:class:`repro.faults.checker.OracleState`)
         #: taken synchronously at capture, if an oracle was attached.
         self.oracle = oracle
+        #: Remote-tier objects at capture time (``None`` when the
+        #: machine had no object store attached).  Remote objects
+        #: survive local power loss, so :meth:`materialize` restores
+        #: them verbatim on the fresh machine.
+        self.remote_objects = remote_objects
+        self.remote_profile = remote_profile
+        self.remote_seed = remote_seed
 
     def __repr__(self) -> str:
         return (f"CrashImage(site={self.site!r}, index={self.index}, "
@@ -192,6 +217,13 @@ class CrashImage:
             next_id = max(next_id, file.file_id + 1)
         fs._next_id = next_id
         fs.epoch = self.epoch
+        if self.remote_objects is not None:
+            # The remote tier survives local power loss: rebuild the
+            # object store with the captured objects on the new clock.
+            from ..objstore import ObjectStore  # local: optional subsystem
+            fs.remote = ObjectStore(env, self.remote_profile,
+                                    seed=self.remote_seed,
+                                    objects=self.remote_objects)
         if model is not None:
             fs.crash(rng=rng, survive_probability=model.survive_probability,
                      mode=model.mode, torn_tail=model.torn_tail)
@@ -255,6 +287,7 @@ class CrashInjector:
         from .checker import DurabilityOracle  # local: avoid import cycle
         oracle_state = (self.oracle.snapshot()
                         if isinstance(self.oracle, DurabilityOracle) else None)
+        remote = getattr(fs, "remote", None)
         return CrashImage(
             site=site, index=index, time=fs.env.now, detail=dict(detail),
             epoch=fs.epoch,
@@ -262,7 +295,11 @@ class CrashInjector:
             profile=fs.device.profile,
             page_cache_bytes=(cache.capacity_pages * PAGE_SIZE
                               if cache is not None else None),
-            oracle=oracle_state)
+            oracle=oracle_state,
+            remote_objects=(dict(remote.objects)
+                            if remote is not None else None),
+            remote_profile=(remote.profile if remote is not None else None),
+            remote_seed=(remote.seed if remote is not None else 0))
 
 
 class TransientEIO:

@@ -50,6 +50,12 @@ class SweepConfig:
     group_writers: int = 4
     #: Number of concurrent group-commit rounds.
     group_rounds: int = 8
+    #: Run with tiered object storage enabled (aggressively: cold level
+    #: 1 and a small LSST cache, so demotions, remote fetches and
+    #: releases all happen inside the small sweep workload).  Only
+    #: engines with compaction files can tier; restrict ``engines``
+    #: accordingly (e.g. ``("bolt",)``).
+    tiered: bool = False
     plan: FaultPlan = field(default_factory=FaultPlan)
 
 
@@ -133,6 +139,16 @@ def sweep_engine(engine_key: str, config: SweepConfig) -> EngineSweepResult:
     oracle = DurabilityOracle()
     injector = CrashInjector(fs, config.plan, oracle)
     options = spec.options(config.scale).copy(wal_sync=True)
+    if config.tiered:
+        # Aggressive tiering so the small sweep workload actually hits
+        # the demote/fetch/release paths: tiny memtable and L1 budget
+        # force compactions, cold level 1 demotes their outputs, and a
+        # one-object cache keeps fetches (and single-flight) honest.
+        options = options.copy(
+            tiering_enabled=True, tier_cold_level=1,
+            tier_cache_bytes=max(1, (4 << 10) // config.scale),
+            memtable_size=max(1, options.memtable_size // 32),
+            level1_max_bytes=max(1, options.level1_max_bytes // 4))
 
     db = spec.engine_cls.open_sync(env, fs, options, "db")
     rng = random.Random(config.seed)

@@ -114,11 +114,21 @@ class Scrubber:
         from ..lsm.sstable import verify_table_bytes
         engine = self.engine
         self.tables_checked += 1
+        container = meta.container
+        tiering = getattr(engine, "tiering", None)
         try:
+            if (tiering is not None
+                    and engine.versions.current.is_remote(container)
+                    and not engine.fs.exists(container)):
+                # Cross-tier deep verify: fetch the demoted container
+                # through the LSST cache and verify the local copy —
+                # the remote tier gets the same CRC scrutiny as disk.
+                yield from tiering.cache.ensure(container)
+                container = tiering.cache.local_name(container)
             with engine.env.tracer.span("scrub.verify", cat="health",
                                         table=meta.number):
                 yield from verify_table_bytes(
-                    engine.fs, meta.container, meta.offset, meta.length,
+                    engine.fs, container, meta.offset, meta.length,
                     engine.options.table_format, engine._bg_meter())
         except CorruptionError as exc:
             self.tables_quarantined += 1

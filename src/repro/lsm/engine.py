@@ -270,6 +270,14 @@ class LSMEngine:
 
         self._inflight_reads = 0
         self._deferred_cleanup: List[FileMetaData] = []
+        #: Tiered object storage (:class:`repro.objstore.TieringPolicy`),
+        #: installed by :meth:`open` when ``options.tiering_enabled``.
+        #: ``None`` means the subsystem does not exist: no store, no
+        #: cache, no extra events — outputs stay byte-identical.
+        self.tiering: Optional[Any] = None
+        #: Demoted containers whose local file awaits unlink (deferred
+        #: until no read is in flight, like obsolete-table cleanup).
+        self._deferred_demotions: List[str] = []
         #: Live read snapshots: sequence -> refcount.  Compactions keep
         #: one version per snapshot interval (LevelDB's rule).
         self._snapshots: Dict[int, int] = {}
@@ -294,6 +302,11 @@ class LSMEngine:
              dbname: str = "db") -> Generator[Event, Any, "LSMEngine"]:
         """Create a new database or recover an existing one."""
         engine = cls(env, fs, options, dbname)
+        if options.tiering_enabled:
+            # Installed before recovery: MANIFEST replay may reference
+            # remote containers that only the tiered opener can reach.
+            from ..objstore import attach_tiering
+            attach_tiering(engine)
         if fs.exists(f"{dbname}/CURRENT"):
             yield from engine._recover()
         else:
@@ -1276,6 +1289,10 @@ class LSMEngine:
 
         discarded = list(merge_victims) + merge_overlaps
         self._schedule_cleanup(discarded)
+        if self.tiering is not None:
+            # §tiering: containers left fully cold by this compaction
+            # move to the object store (pointer-swap in the MANIFEST).
+            yield from self.tiering.maybe_demote(meter)
         span.set(outputs=len(output_metas), settled=len(promoted))
         tracer = self.env.tracer
         if tracer.enabled and promoted:
@@ -1375,20 +1392,31 @@ class LSMEngine:
         self._deferred_cleanup.extend(metas)
         self._maybe_run_deferred_cleanup()
 
+    def _schedule_demotion_unlink(self, container: str) -> None:
+        """Queue a demoted container's local file for deferred unlink."""
+        self._deferred_demotions.append(container)
+        self._maybe_run_deferred_cleanup()
+
     def _maybe_run_deferred_cleanup(self) -> None:
-        if self._inflight_reads or not self._deferred_cleanup:
+        if self._inflight_reads:
+            return
+        if not self._deferred_cleanup and not self._deferred_demotions:
             return
         batch, self._deferred_cleanup = self._deferred_cleanup, []
-        proc = self.env.process(self._cleanup_and_poke(batch),
+        demoted, self._deferred_demotions = self._deferred_demotions, []
+        proc = self.env.process(self._cleanup_and_poke(batch, demoted),
                                 name=f"{self.dbname}-cleanup")
         proc.add_callback(self._on_worker_exit)
 
-    def _cleanup_and_poke(self, metas: List[FileMetaData]
+    def _cleanup_and_poke(self, metas: List[FileMetaData],
+                          demoted: Optional[List[str]] = None
                           ) -> Generator[Event, Any, None]:
         """Run cleanup, downgrading its faults to soft, then re-check
         ENOSPC degradation: reclaimed space may end read-only mode."""
         try:
             yield from self._cleanup_tables(metas)
+            if demoted and self.tiering is not None:
+                yield from self.tiering.unlink_locals(demoted)
         except (DeviceError, DiskFullError) as exc:
             self._on_background_error("cleanup", exc)
         self.health.poke()
@@ -1456,6 +1484,12 @@ class LSMEngine:
             finally:
                 self._flush_in_progress = False
         yield from self._delete_obsolete_files()
+        if self.tiering is not None:
+            # Remote orphans: PUTs whose demotion pointer never
+            # committed.  (Post-crash local cache files were purged
+            # above — objcache files are never fsynced, so any copy
+            # surviving a crash is suspect and refetched on demand.)
+            yield from self.tiering.recover_gc()
 
     def _delete_obsolete_files(self) -> Generator[Event, Any, None]:
         """Remove files not referenced by the recovered version."""

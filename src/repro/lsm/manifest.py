@@ -39,6 +39,7 @@ _TAG_DELETED_FILE = 5
 _TAG_NEW_FILE = 6
 _TAG_GUARD = 7  # used by the PebblesDB engine
 _TAG_QUARANTINE = 8  # corruption quarantine (repro.health scrubber)
+_TAG_TIER = 9  # container tier pointer (repro.objstore demotion)
 
 
 class VersionEdit:
@@ -53,6 +54,11 @@ class VersionEdit:
         self.new_files: List[Tuple[int, FileMetaData]] = []
         self.new_guards: List[Tuple[int, bytes]] = []
         self.quarantined_files: List[int] = []
+        #: ``(container, tier, length, crc32)`` — tier 1 records the
+        #: container as living in the remote object tier (the pointer
+        #: swap of a demotion); tier 0 removes the pointer (the last
+        #: table of a remote container died and the object was deleted).
+        self.tier_changes: List[Tuple[str, int, int, int]] = []
 
     def delete_file(self, level: int, number: int) -> None:
         """Record the removal of table ``number`` from ``level``."""
@@ -73,6 +79,17 @@ class VersionEdit:
     def quarantine_file(self, number: int) -> None:
         """Record that table ``number`` failed checksum verification."""
         self.quarantined_files.append(number)
+
+    def set_tier(self, container: str, tier: int, length: int = 0,
+                 crc: int = 0) -> None:
+        """Record a tier change for ``container``.
+
+        ``tier=1`` points the container at the object store (``length``
+        and ``crc`` describe the remote object, for the durability
+        oracle's pointer-never-dangles clause); ``tier=0`` removes the
+        pointer.
+        """
+        self.tier_changes.append((container, tier, length, crc))
 
     # -- codec ---------------------------------------------------------------
 
@@ -113,6 +130,12 @@ class VersionEdit:
         for number in self.quarantined_files:
             out.extend(encode_varint(_TAG_QUARANTINE))
             out.extend(encode_varint(number))
+        for container, tier, length, crc in self.tier_changes:
+            out.extend(encode_varint(_TAG_TIER))
+            out.extend(encode_length_prefixed(container.encode()))
+            out.extend(encode_varint(tier))
+            out.extend(encode_varint(length))
+            out.extend(encode_varint(crc))
         return bytes(out)
 
     @classmethod
@@ -157,6 +180,13 @@ class VersionEdit:
             elif tag == _TAG_QUARANTINE:
                 number, pos = decode_varint(data, pos)
                 edit.quarantined_files.append(number)
+            elif tag == _TAG_TIER:
+                container, pos = decode_length_prefixed(data, pos)
+                tier, pos = decode_varint(data, pos)
+                length, pos = decode_varint(data, pos)
+                crc, pos = decode_varint(data, pos)
+                edit.tier_changes.append((container.decode(), tier,
+                                          length, crc))
             else:
                 raise CorruptionError(f"unknown VersionEdit tag {tag}")
         return edit
@@ -263,6 +293,11 @@ class VersionSet:
                 self.next_file_number = meta.number + 1
         for number in edit.quarantined_files:
             version.quarantined.add(number)
+        for container, tier, length, crc in edit.tier_changes:
+            if tier:
+                version.remote_containers[container] = (length, crc)
+            else:
+                version.remote_containers.pop(container, None)
         for level, key in edit.new_guards:
             keys = self.guards.setdefault(level, [])
             if key not in keys:
@@ -366,6 +401,9 @@ class VersionSet:
                     snapshot.add_guard(level, key)
             for number in sorted(self.current.quarantined):
                 snapshot.quarantine_file(number)
+            for container in sorted(self.current.remote_containers):
+                length, crc = self.current.remote_containers[container]
+                snapshot.set_tier(container, 1, length, crc)
             self._manifest_writer.append(snapshot.encode())
         yield from self._manifest_handle.fsync()
 

@@ -50,6 +50,7 @@ _SCALED_FIELDS = (
     "group_compaction_bytes",
     "block_cache_bytes",
     "write_group_bytes",
+    "tier_cache_bytes",
 )
 
 
@@ -144,6 +145,23 @@ class Options:
     #: Tables deep-verified per scrub round (the idle-time budget).
     scrub_tables_per_round: int = 2
 
+    # -- tiered object storage (repro.objstore) ------------------------------
+    #: Demote cold, fully-compacted compaction files wholesale to the
+    #: simulated object store after compaction.  Off by default: with
+    #: tiering disabled no objstore object is created, no event is
+    #: scheduled, and every output is byte-identical to a build without
+    #: the subsystem.
+    tiering_enabled: bool = False
+    #: A container is demotion-cold once *all* of its live tables sit at
+    #: or below this level (fully compacted out of the hot path).
+    tier_cold_level: int = 2
+    #: Local LSST cache budget for fetched remote containers.
+    tier_cache_bytes: int = 4 * MB
+    #: Remote request round-trip latency, virtual seconds per operation.
+    tier_remote_latency: float = 0.012
+    #: Remote bandwidth ceiling, bytes per virtual second (shared pipe).
+    tier_remote_bandwidth: float = 100.0e6
+
     # -- observability ------------------------------------------------------
     #: A :class:`repro.obs.Tracer` to install on the engine's simulation
     #: environment at construction time.  ``None`` (the default) leaves
@@ -178,6 +196,18 @@ class Options:
             raise ValueError("bg_error_max_retries must be >= 1")
         if self.scrub_interval <= 0 or self.scrub_tables_per_round < 1:
             raise ValueError("scrubber interval/budget must be positive")
+        if self.tiering_enabled:
+            if not self.use_compaction_file:
+                # Demotion moves whole compaction files; per-table engines
+                # have no coarse immutable unit worth a PUT each.
+                raise ValueError("tiering requires use_compaction_file")
+            if self.tier_cache_bytes <= 0:
+                raise ValueError("tier_cache_bytes must be positive")
+            if self.tier_cold_level < 1:
+                raise ValueError("tier_cold_level must be >= 1")
+            if (self.tier_remote_latency < 0
+                    or self.tier_remote_bandwidth <= 0):
+                raise ValueError("remote latency/bandwidth must be positive")
 
     def max_bytes_for_level(self, level: int) -> float:
         """Size limit of ``level`` (level 0 is governed by file count)."""

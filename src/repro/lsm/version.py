@@ -73,6 +73,11 @@ class Version:
         #: merely deleted) but excluded from reads, which fail fast with
         #: ``CorruptionError`` instead of decoding bad bytes.
         self.quarantined: Set[int] = set()
+        #: Containers demoted to the remote object tier (tag 9):
+        #: ``container name -> (object length, zlib.crc32)``.  A container
+        #: listed here lives in the object store; its local file may be
+        #: absent, and reads route through the LSST cache.
+        self.remote_containers: Dict[str, Tuple[int, int]] = {}
 
     @property
     def num_levels(self) -> int:
@@ -85,7 +90,12 @@ class Version:
         version.files = [list(level) for level in self.files]
         version._level_bytes = list(self._level_bytes)
         version.quarantined = set(self.quarantined)
+        version.remote_containers = dict(self.remote_containers)
         return version
+
+    def is_remote(self, container: str) -> bool:
+        """True if ``container`` has been demoted to the object tier."""
+        return container in self.remote_containers
 
     def is_quarantined(self, number: int) -> bool:
         """True if table ``number`` is quarantined in this version."""

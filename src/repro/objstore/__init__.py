@@ -1,0 +1,33 @@
+"""Tiered object storage (repro.objstore).
+
+Cold, fully-compacted compaction files are demoted *wholesale* to a
+simulated S3: a deterministic :class:`ObjectStore` service on the sim
+kernel with an explicit request cost model (per-op latency, a shared
+bandwidth ceiling, seeded jitter, and dollar accounting for requests and
+at-rest bytes), a bounded local :class:`LsstCache` with LRU admission
+and single-flight fetches, and a :class:`TieringPolicy` that performs
+the demotion as a MANIFEST pointer swap (tag 9) — never while the
+container is referenced by an in-flight read, and never in an order
+that could leave the MANIFEST pointing at a missing or torn object.
+
+Enable with ``Options(tiering_enabled=True)`` (requires compaction
+files); with the flag off, nothing in this package is constructed and
+every output is byte-identical to a build without it.  See
+docs/STORAGE_TIERS.md for the cost model, demotion rules and the crash
+contract.
+"""
+
+from .cache import LsstCache
+from .store import ObjectStore, ObjectStoreError, ObjectStoreStats, RemoteProfile
+from .tiering import TieredContainerOpener, TieringPolicy, attach_tiering
+
+__all__ = [
+    "LsstCache",
+    "ObjectStore",
+    "ObjectStoreError",
+    "ObjectStoreStats",
+    "RemoteProfile",
+    "TieredContainerOpener",
+    "TieringPolicy",
+    "attach_tiering",
+]

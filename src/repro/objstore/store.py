@@ -1,0 +1,230 @@
+"""Deterministic simulated object store — the S3 stand-in.
+
+The :class:`ObjectStore` is a service on the sim kernel with an explicit
+request cost model: every operation pays a per-request round-trip
+latency (with seeded proportional jitter), payload transfers share one
+bandwidth pipe (FIFO by arrival on the virtual clock), and every request
+accrues dollars per the :class:`RemoteProfile` price sheet — the terms a
+$/GB-vs-p99 trade-off is made of.
+
+Durability semantics are the strong half of the tiering crash contract:
+a PUT is atomic at completion.  Until the transfer finishes the object
+simply does not exist, so a crash mid-demotion can leave at most a
+harmless *orphan* (PUT done, MANIFEST pointer not committed — garbage
+collected at recovery) and never a torn object.  Objects survive local
+power loss; :class:`repro.faults.CrashImage` snapshots and restores the
+object dictionary alongside the filesystem.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+from ..sim import Environment, Event
+
+__all__ = ["ObjectStore", "ObjectStoreError", "ObjectStoreStats",
+           "RemoteProfile"]
+
+_GB = float(1 << 30)
+#: Billing month used to turn byte-seconds into $/GB-month.
+_MONTH_SECONDS = 30 * 24 * 3600.0
+
+
+class ObjectStoreError(OSError):
+    """A remote request failed (currently: GET of a missing key)."""
+
+
+@dataclass(frozen=True)
+class RemoteProfile:
+    """Cost model of the remote tier: latency, bandwidth, price sheet.
+
+    Defaults approximate a standard-class S3 bucket over a same-region
+    link: ~12 ms request round trip, 100 MB/s of sustained bandwidth,
+    $5/1M PUTs, $0.4/1M GETs, $0.023 per GB-month stored.
+    """
+
+    name: str = "sim-s3"
+    #: Round-trip latency paid by every request, virtual seconds.
+    request_latency: float = 0.012
+    #: Shared bandwidth ceiling for payload transfer, bytes/second.
+    bandwidth: float = 100.0e6
+    #: Proportional seeded jitter on the request latency (0.2 = up to +20 %).
+    jitter: float = 0.2
+    put_dollars: float = 5.0e-6
+    get_dollars: float = 4.0e-7
+    delete_dollars: float = 0.0
+    list_dollars: float = 5.0e-6
+    storage_dollars_gb_month: float = 0.023
+
+
+@dataclass
+class ObjectStoreStats:
+    """Cumulative request counters and dollar accounting."""
+
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    lists: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    #: Per-request dollars accrued so far (PUT/GET/DELETE/LIST).
+    request_dollars: float = 0.0
+    #: Integral of stored bytes over virtual time, for storage billing.
+    byte_seconds: float = 0.0
+    #: Completion latency of every GET, for cache-miss tail analysis.
+    get_latencies: List[float] = field(default_factory=list)
+
+
+class ObjectStore:
+    """A flat key → bytes store on the simulated clock.
+
+    All mutating calls are coroutines (``yield from``): they cost
+    virtual time per the :class:`RemoteProfile` before taking effect.
+    The object dictionary is only ever mutated at request completion,
+    which is what makes torn remote objects impossible by construction.
+    """
+
+    def __init__(self, env: Environment, profile: Optional[RemoteProfile] = None,
+                 seed: int = 0,
+                 objects: Optional[Dict[str, bytes]] = None):
+        self.env = env
+        self.profile = profile or RemoteProfile()
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.objects: Dict[str, bytes] = dict(objects or {})
+        self.stats = ObjectStoreStats()
+        self._stored_bytes = sum(len(v) for v in self.objects.values())
+        self._busy_until = 0.0  # bandwidth pipe: next instant it frees up
+        self._billed_at = env.now
+
+    # -- cost model --------------------------------------------------------
+
+    def _accrue_storage(self) -> None:
+        now = self.env.now
+        if now > self._billed_at:
+            self.stats.byte_seconds += self._stored_bytes * (now - self._billed_at)
+        self._billed_at = now
+
+    def _request(self, payload_bytes: int) -> Generator[Event, Any, None]:
+        """Pay one request: jittered latency plus the bandwidth share."""
+        profile = self.profile
+        latency = profile.request_latency
+        if profile.jitter and latency:
+            latency *= 1.0 + profile.jitter * self._rng.random()
+        now = self.env.now
+        if payload_bytes:
+            start = self._busy_until if self._busy_until > now else now
+            done = start + payload_bytes / profile.bandwidth
+            self._busy_until = done
+        else:
+            done = now
+        yield self.env.timeout((done - now) + latency)
+
+    # -- operations --------------------------------------------------------
+
+    def put(self, key: str, data: bytes) -> Generator[Event, Any, None]:
+        """Upload ``data`` under ``key`` — atomic at completion."""
+        payload = bytes(data)
+        stats = self.stats
+        stats.puts += 1
+        stats.bytes_in += len(payload)
+        stats.request_dollars += self.profile.put_dollars
+        tracer = self.env.tracer
+        if tracer.enabled:
+            with tracer.span("objstore.put", cat="tier", key=key,
+                             nbytes=len(payload)):
+                yield from self._request(len(payload))
+        else:
+            yield from self._request(len(payload))
+        self._accrue_storage()
+        old = self.objects.get(key)
+        if old is not None:
+            self._stored_bytes -= len(old)
+        self.objects[key] = payload
+        self._stored_bytes += len(payload)
+
+    def get(self, key: str) -> Generator[Event, Any, bytes]:
+        """Download the object at ``key``.
+
+        Raises :class:`ObjectStoreError` when it does not exist.  The
+        bytes returned are the object as of the *start* of the request
+        (a concurrent DELETE does not tear an in-flight GET).
+        """
+        data = self.objects.get(key)
+        if data is None:
+            raise ObjectStoreError(f"no such object: {key!r}")
+        stats = self.stats
+        stats.gets += 1
+        stats.bytes_out += len(data)
+        stats.request_dollars += self.profile.get_dollars
+        started = self.env.now
+        tracer = self.env.tracer
+        if tracer.enabled:
+            with tracer.span("objstore.get", cat="tier", key=key,
+                             nbytes=len(data)):
+                yield from self._request(len(data))
+        else:
+            yield from self._request(len(data))
+        stats.get_latencies.append(self.env.now - started)
+        return data
+
+    def delete(self, key: str) -> Generator[Event, Any, None]:
+        """Delete ``key`` (idempotent, like S3)."""
+        stats = self.stats
+        stats.deletes += 1
+        stats.request_dollars += self.profile.delete_dollars
+        yield from self._request(0)
+        self._accrue_storage()
+        old = self.objects.pop(key, None)
+        if old is not None:
+            self._stored_bytes -= len(old)
+
+    def list_keys(self, prefix: str = "") -> Generator[Event, Any, List[str]]:
+        """Sorted keys under ``prefix`` — one metadata request."""
+        self.stats.lists += 1
+        self.stats.request_dollars += self.profile.list_dollars
+        yield from self._request(0)
+        return sorted(key for key in self.objects if key.startswith(prefix))
+
+    def exists(self, key: str) -> bool:
+        """True if ``key`` currently has an object (no cost: local check)."""
+        return key in self.objects
+
+    def object_length(self, key: str) -> Optional[int]:
+        """Length of the object at ``key``, or ``None`` when absent."""
+        data = self.objects.get(key)
+        return None if data is None else len(data)
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def stored_bytes(self) -> int:
+        """Total bytes currently stored remotely."""
+        return self._stored_bytes
+
+    def storage_dollars(self) -> float:
+        """Dollars accrued so far for at-rest storage."""
+        self._accrue_storage()
+        return (self.stats.byte_seconds / _GB / _MONTH_SECONDS
+                * self.profile.storage_dollars_gb_month)
+
+    def dollars_spent(self) -> float:
+        """Total dollars: per-request charges plus at-rest storage."""
+        return self.stats.request_dollars + self.storage_dollars()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Stable summary for reports (`unified_snapshot`'s tier section)."""
+        stats = self.stats
+        return {
+            "objects": len(self.objects),
+            "stored_bytes": self._stored_bytes,
+            "puts": stats.puts,
+            "gets": stats.gets,
+            "deletes": stats.deletes,
+            "lists": stats.lists,
+            "bytes_in": stats.bytes_in,
+            "bytes_out": stats.bytes_out,
+            "dollars_spent": round(self.dollars_spent(), 9),
+        }

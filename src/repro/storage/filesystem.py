@@ -91,7 +91,7 @@ class _SimFile:
     """Internal per-file state: bytes, dirty pages, punched holes."""
 
     __slots__ = ("file_id", "name", "data", "dirty", "dirty_epoch",
-                 "submitted", "punched", "durable_size")
+                 "submitted", "punched", "partial_punches", "durable_size")
 
     def __init__(self, file_id: int, name: str):
         self.file_id = file_id
@@ -106,6 +106,11 @@ class _SimFile:
         #: barrier; the next global FLUSH (any fsync) makes them durable.
         self.submitted: Set[int] = set()
         self.punched: Set[int] = set()
+        #: page index -> merged [lo, hi) byte spans punched so far within
+        #: that page.  A page whose union of spans reaches the full page
+        #: is promoted to :attr:`punched` so adjacent misaligned punches
+        #: still free the space they jointly cover.
+        self.partial_punches: Dict[int, List[Any]] = {}
         self.durable_size = 0
 
     @property
@@ -138,6 +143,31 @@ class _SimFile:
             self.dirty_epoch[page] = epoch
             self.submitted.discard(page)
             self.punched.discard(page)
+            if self.partial_punches:
+                self.partial_punches.pop(page, None)
+
+    def note_punch_coverage(self, page: int, lo: int, hi: int) -> bool:
+        """Accumulate partial hole-punch coverage of ``page``.
+
+        ``[lo, hi)`` are byte offsets within the page.  Returns True when
+        the accumulated union now spans the whole page, i.e. the caller
+        should deallocate it like a fully covered page.
+        """
+        spans = self.partial_punches.setdefault(page, [])
+        spans.append([lo, hi])
+        spans.sort()
+        merged = [spans[0]]
+        for span in spans[1:]:
+            if span[0] <= merged[-1][1]:
+                if span[1] > merged[-1][1]:
+                    merged[-1][1] = span[1]
+            else:
+                merged.append(span)
+        self.partial_punches[page] = merged
+        if len(merged) == 1 and merged[0][0] == 0 and merged[0][1] >= PAGE_SIZE:
+            del self.partial_punches[page]
+            return True
+        return False
 
 
 class FileHandle:
@@ -233,6 +263,12 @@ class SimFS:
         #: Armed fault injector (:class:`repro.faults.CrashInjector`),
         #: or None.  See :meth:`fault_site`.
         self.faults: Optional[Any] = None
+        #: Attached remote tier (:class:`repro.objstore.ObjectStore`),
+        #: or None.  Installed by ``attach_tiering`` (or crash-image
+        #: materialization) so every layer that holds the filesystem can
+        #: reach the machine's remote half; its objects survive local
+        #: power loss (:meth:`crash` does not touch it).
+        self.remote: Optional[Any] = None
 
     def fault_site(self, name: str, **detail: Any) -> None:
         """Announce a named crash site to the armed injector, if any.
@@ -519,6 +555,12 @@ class SimFS:
         Matches ``fallocate(FALLOC_FL_PUNCH_HOLE)``: only pages fully
         covered by the range are freed; reads of punched pages return
         zeros.  No barrier is issued (§3.2's lazy metadata sync).
+
+        Partially covered edge pages are not freed by one call, but their
+        coverage accumulates: once the union of punched ranges spans a
+        whole page — e.g. two adjacent misaligned punches — that page is
+        deallocated too, so the space of a fully dead region is always
+        credited back to :meth:`free_bytes`.
         """
         file = handle._file
         if length <= 0:
@@ -526,15 +568,29 @@ class SimFS:
         end = min(offset + length, file.size)
         first = (offset + PAGE_SIZE - 1) // PAGE_SIZE  # round up
         last = end // PAGE_SIZE - 1                     # round down
-        for page in range(first, last + 1):
+        to_free = list(range(first, last + 1))
+        if end > offset:
+            lo_page = offset // PAGE_SIZE
+            hi_page = (end - 1) // PAGE_SIZE
+            edges = (lo_page,) if hi_page == lo_page else (lo_page, hi_page)
+            for page in edges:
+                if first <= page <= last or page in file.punched:
+                    continue
+                base = page * PAGE_SIZE
+                lo = max(offset, base) - base
+                hi = min(end, base + PAGE_SIZE) - base
+                if hi > lo and file.note_punch_coverage(page, lo, hi):
+                    to_free.append(page)
+        for page in to_free:
             if page not in file.punched:
                 file.punched.add(page)
                 self.stats.bytes_punched += PAGE_SIZE
+            file.partial_punches.pop(page, None)
             file.dirty.pop(page, None)
             start = page * PAGE_SIZE
             file.data[start:start + PAGE_SIZE] = b"\x00" * PAGE_SIZE
-        if self.page_cache is not None and last >= first:
-            self.page_cache.invalidate_range(file.file_id, first, last)
+            if self.page_cache is not None:
+                self.page_cache.invalidate_range(file.file_id, page, page)
         self.stats.num_hole_punches += 1
         tracer = self.env.tracer
         if tracer.enabled:

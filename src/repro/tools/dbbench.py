@@ -32,7 +32,8 @@ from ..obs import Tracer, phase_summary, write_chrome_trace
 from ..sim import Event
 
 __all__ = ["main", "run_benchmarks", "run_crash_sweep", "run_chaos",
-           "run_cluster_bench", "run_cluster_chaos", "run_cluster_nemesis"]
+           "run_cluster_bench", "run_cluster_chaos", "run_cluster_nemesis",
+           "run_tier_report"]
 
 BENCHMARKS = ("fillseq", "fillrandom", "overwrite", "readrandom",
               "readmissing", "readseq", "deleterandom", "compact", "stats")
@@ -62,6 +63,26 @@ def _parser() -> argparse.ArgumentParser:
                         help="run with the lockdep/race sanitizer enabled "
                              "(repro.analysis.sanitizer); exit non-zero if "
                              "it reports anything")
+    parser.add_argument("--tiered", action="store_true",
+                        help="enable tiered object storage: cold LSSTs are "
+                             "demoted wholesale to a simulated object store "
+                             "and read back through a bounded local cache "
+                             "(compaction-file engines only); with "
+                             "--crash-sweep, sweeps the tiered store's "
+                             "crash points instead")
+    parser.add_argument("--cache-mb", type=float, default=4.0,
+                        help="--tiered: local LSST cache budget in MB "
+                             "(actual bytes, not /scale; default 4)")
+    parser.add_argument("--remote-latency", type=float, default=0.012,
+                        help="--tiered: per-request object-store latency in "
+                             "seconds (default 0.012)")
+    parser.add_argument("--remote-bandwidth", type=float, default=100e6,
+                        help="--tiered: object-store bandwidth in bytes/s "
+                             "(default 100e6)")
+    parser.add_argument("--tier-report", action="store_true",
+                        help="instead of benchmarking, run the tiered "
+                             "fill+read workload at several cache sizes and "
+                             "print the $/GB-vs-read-p99 trade-off table")
     parser.add_argument("--crash-sweep", action="store_true",
                         help="instead of benchmarking, run the repro.faults "
                              "crash-consistency sweep for --engine and exit "
@@ -146,6 +167,44 @@ def _parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _tiered_options(options: Any, args: argparse.Namespace,
+                    cache_mb: Optional[float] = None) -> Any:
+    """Turn on tiered object storage with the CLI's remote knobs.
+
+    ``--cache-mb`` is an *actual* byte budget, not a pre-scale one:
+    the cache holds demoted data bytes, and data does not shrink with
+    ``--scale`` the way structure sizes do.
+    """
+    if not getattr(options, "use_compaction_file", False):
+        raise SystemExit(
+            f"--tiered demotes whole compaction files; engine "
+            f"{args.engine!r} does not write them (pick a "
+            f"compaction-file engine such as bolt)")
+    budget = args.cache_mb if cache_mb is None else cache_mb
+    return options.copy(
+        tiering_enabled=True, tier_cold_level=1,
+        tier_cache_bytes=max(1, int(budget * (1 << 20))),
+        tier_remote_latency=args.remote_latency,
+        tier_remote_bandwidth=args.remote_bandwidth)
+
+
+def _print_tier_stats(tiering: Any, out) -> dict:
+    """Print the tier section after a tiered run; returns the snapshot."""
+    snap = tiering.snapshot()
+    out(f"tier demotions:   {snap['demotions']} "
+        f"({snap['demoted_bytes']} bytes), releases {snap['releases']}, "
+        f"remote containers {snap['remote_containers']}")
+    out(f"tier cache:       hit rate {snap['cache_hit_rate']:.4f} "
+        f"({snap['cache_hits']} hits / {snap['cache_misses']} misses), "
+        f"{snap['cache_evictions']} evictions, "
+        f"miss p999 {snap['cache_miss_p999_ms']:.3f} ms")
+    out(f"tier remote:      {snap['remote_gets']} GETs / "
+        f"{snap['remote_puts']} PUTs, {snap['remote_bytes_out']} bytes "
+        f"fetched, ${snap['remote_dollars_spent']:.9f} spent "
+        f"(${snap['dollars_per_gb']:.6f}/GB)")
+    return snap
+
+
 def run_chaos(args: argparse.Namespace, out=print) -> List[dict]:
     """Handle ``--chaos``: transient-fault runs across all engines."""
     from ..faults import ChaosConfig, chaos_sweep
@@ -170,10 +229,13 @@ def run_chaos(args: argparse.Namespace, out=print) -> List[dict]:
 def run_crash_sweep(args: argparse.Namespace, out=print) -> List[dict]:
     """Handle ``--crash-sweep``: sweep crash points for one engine."""
     from ..faults import SweepConfig, crash_sweep
+    tiered = getattr(args, "tiered", False)
     config = SweepConfig(engines=(args.engine,),
-                         num_ops=min(args.num, 400), seed=args.seed)
+                         num_ops=min(args.num, 400), seed=args.seed,
+                         tiered=tiered)
     out(f"crash sweep: engine {args.engine}, {config.num_ops} ops, "
-        f"models {', '.join(m.name for m in config.plan.models)}")
+        f"models {', '.join(m.name for m in config.plan.models)}"
+        + (", tiered object storage on" if tiered else ""))
     report = crash_sweep(config)
     for line in report.summary_lines():
         out(line)
@@ -447,6 +509,70 @@ def run_cluster_bench(args: argparse.Namespace, out=print) -> List[dict]:
     return rows
 
 
+def run_tier_report(args: argparse.Namespace, out=print) -> List[dict]:
+    """Handle ``--tier-report``: the $/GB vs read-p99 trade-off frontier.
+
+    Runs the same fill + quiesce + random-read workload at three LSST
+    cache budgets (``--cache-mb`` /4, x1, x4).  A bigger cache turns
+    remote GETs into local hits — lower read tail, but more local bytes
+    held; a smaller one serves colder data straight off the object
+    store's request latency.  Output is deterministic for fixed
+    arguments, so CI diffs two runs byte-for-byte.
+    """
+    system = SYSTEMS[args.engine]
+    budgets = sorted({max(0.25, args.cache_mb / 4), args.cache_mb,
+                      args.cache_mb * 4})
+    out(f"tier report: engine {system.label}, {args.num} ops, "
+        f"scale 1/{args.scale}, remote latency "
+        f"{args.remote_latency * 1000:g} ms at "
+        f"{args.remote_bandwidth / 1e6:g} MB/s, cache budgets "
+        f"{', '.join('%g MB' % b for b in budgets)}")
+    rows: List[dict] = []
+    for cache_mb in budgets:
+        config = BenchConfig(scale=args.scale, record_count=args.num,
+                             value_size=args.value_size, seed=args.seed)
+        stack = new_stack(config)
+        options = _tiered_options(system.options(config.scale), args,
+                                  cache_mb=cache_mb)
+        db = system.engine_cls.open_sync(stack.env, stack.fs, options, "db")
+        value = b"v" * args.value_size
+        keys = [b"%016d" % i for i in range(args.num)]
+        rng = random.Random(args.seed)
+        recorder = LatencyRecorder()
+
+        def driver():
+            """Fill, quiesce (demotions run), then random reads."""
+            for key in keys:
+                yield from db.put(key, value)
+            yield from db.flush_all()
+            yield from db.wait_idle()
+            for _ in range(args.num):
+                started = stack.env.now
+                yield from db.get(rng.choice(keys))
+                recorder.record("read", stack.env.now - started)
+
+        stack.env.run_until(stack.env.process(driver()))
+        snap = db.tiering.snapshot()
+        row = {
+            "benchmark": "tier-report",
+            "cache_mb": cache_mb,
+            "demotions": snap["demotions"],
+            "hit_rate": snap["cache_hit_rate"],
+            "read_p99_ms": round(recorder.percentile(99.0, "read") * 1e3, 4),
+            "miss_p999_ms": snap["cache_miss_p999_ms"],
+            "remote_gets": snap["remote_gets"],
+            "dollars_per_gb": snap["dollars_per_gb"],
+        }
+        rows.append(row)
+        out(f"cache {cache_mb:6g} MB: {row['demotions']:3d} demotions, "
+            f"hit rate {row['hit_rate']:.4f}, read p99 "
+            f"{row['read_p99_ms']:.4f} ms, miss p999 "
+            f"{row['miss_p999_ms']:.3f} ms, {row['remote_gets']:4d} GETs, "
+            f"${row['dollars_per_gb']:.6f}/GB")
+        db.close_sync()
+    return rows
+
+
 def run_benchmarks(args: argparse.Namespace,
                    out=print) -> List[dict]:
     """Run the requested benchmark list; returns one row per benchmark."""
@@ -460,6 +586,8 @@ def run_benchmarks(args: argparse.Namespace,
         return run_crash_sweep(args, out)
     if getattr(args, "chaos", False):
         return run_chaos(args, out)
+    if getattr(args, "tier_report", False):
+        return run_tier_report(args, out)
     if getattr(args, "server", False):
         return run_server_bench(args, out)
     config = BenchConfig(scale=args.scale, record_count=args.num,
@@ -469,8 +597,10 @@ def run_benchmarks(args: argparse.Namespace,
     sanitize = getattr(args, "sanitize", False)
     stack = new_stack(config, tracer=tracer, sanitize=sanitize)
     system = SYSTEMS[args.engine]
-    db = system.engine_cls.open_sync(
-        stack.env, stack.fs, system.options(config.scale), "db")
+    options = system.options(config.scale)
+    if getattr(args, "tiered", False):
+        options = _tiered_options(options, args)
+    db = system.engine_cls.open_sync(stack.env, stack.fs, options, "db")
     rng = random.Random(args.seed)
     value = b"v" * args.value_size
     written_keys: List[bytes] = []
@@ -567,6 +697,17 @@ def run_benchmarks(args: argparse.Namespace,
     out(f"engine: {system.label}  num: {args.num}  "
         f"value: {args.value_size} B  scale: 1/{args.scale}")
     stack.env.run_until(stack.env.process(driver()))
+    tiering = getattr(db, "tiering", None)
+    if tiering is not None:
+        # Quiesce first so in-flight compactions/demotions settle and
+        # the tier counters are stable run-to-run (CI diffs the output).
+        stack.env.run_until(stack.env.process(db.wait_idle()))
+        snap = _print_tier_stats(tiering, out)
+        rows.append({"benchmark": "tier-stats",
+                     "demotions": snap["demotions"],
+                     "cache_hit_rate": snap["cache_hit_rate"],
+                     "miss_p999_ms": snap["cache_miss_p999_ms"],
+                     "dollars_per_gb": snap["dollars_per_gb"]})
     db.close_sync()
     if tracer is not None:
         write_chrome_trace(tracer, trace_path)

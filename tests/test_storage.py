@@ -287,6 +287,48 @@ class TestSimFS:
 
         assert run(scenario()) == b"x" * (2 * PAGE_SIZE)
 
+    def test_adjacent_partial_punches_free_the_shared_page(self, env, fs, run):
+        def scenario():
+            handle = yield from fs.create("f")
+            handle.append(b"x" * (4 * PAGE_SIZE))
+            yield from handle.fsync()
+            before = fs.total_allocated_bytes()
+            # Two misaligned punches that jointly cover pages 0..2: each
+            # call leaves page 1 partially covered, but the union spans it.
+            handle.punch_hole(0, PAGE_SIZE + PAGE_SIZE // 2)
+            handle.punch_hole(PAGE_SIZE + PAGE_SIZE // 2,
+                              3 * PAGE_SIZE - (PAGE_SIZE + PAGE_SIZE // 2))
+            after = fs.total_allocated_bytes()
+            return before, after
+
+        before, after = run(scenario())
+        assert after == before - 3 * PAGE_SIZE
+
+    def test_punch_then_rewrite_to_former_capacity(self, env, fs, run):
+        """Hole-punched ranges are credited back to free_bytes: after
+        punching a file away in misaligned pieces, writing until the
+        former capacity succeeds without DiskFullError."""
+
+        def scenario():
+            fs.set_capacity(8 * PAGE_SIZE)
+            handle = yield from fs.create("f")
+            handle.append(b"x" * (8 * PAGE_SIZE))
+            yield from handle.fsync()
+            assert fs.free_bytes() == 0
+            # Punch the whole file as misaligned halves; every page's
+            # coverage completes across two calls.
+            half = PAGE_SIZE // 2
+            handle.punch_hole(0, half)
+            for start in range(half, 8 * PAGE_SIZE - half + 1, PAGE_SIZE):
+                handle.punch_hole(start, PAGE_SIZE)
+            handle.punch_hole(8 * PAGE_SIZE - half, half)
+            assert fs.free_bytes() == 8 * PAGE_SIZE
+            other = yield from fs.create("g")
+            other.append(b"y" * (8 * PAGE_SIZE))  # must not raise
+            return fs.free_bytes()
+
+        assert run(scenario()) == 0
+
     def test_cold_read_hits_device(self, env, run):
         device = BlockDevice(env, SATA_SSD)
         fs = SimFS(env, device, PageCache(2 * PAGE_SIZE))

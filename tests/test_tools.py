@@ -258,7 +258,7 @@ class TestPerfBench:
     def test_benchmarks_registered(self):
         from repro.tools.perfbench import BENCHMARKS
         assert set(BENCHMARKS) == {"kernel", "codec", "skiplist",
-                                   "histogram", "ycsb_a"}
+                                   "histogram", "objstore_cache", "ycsb_a"}
 
     def test_fingerprints_stable_across_runs(self):
         """Each benchmark's fingerprint is a pure function of the code."""
